@@ -1,0 +1,72 @@
+//! End-to-end throughput of the co-simulation: full (but single-seed) runs
+//! of one representative scenario per figure family. These are the numbers
+//! that bound how long the `figures` binary takes.
+
+use criterion::{criterion_group, criterion_main, Criterion, SamplingMode};
+use irs_core::{Scenario, Strategy, VmScenario};
+use irs_sim::SimTime;
+use irs_workloads::presets;
+use std::hint::black_box;
+
+fn bench_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sampling_mode(SamplingMode::Flat).sample_size(10);
+
+    group.bench_function("fig5_cell/streamcluster_irs_1inter", |b| {
+        b.iter(|| {
+            black_box(
+                Scenario::fig5_style("streamcluster", 1, Strategy::Irs, 1)
+                    .run()
+                    .measured()
+                    .makespan_ms(),
+            )
+        })
+    });
+    group.bench_function("fig6_cell/mg_vanilla_2inter", |b| {
+        b.iter(|| {
+            black_box(
+                Scenario::fig5_style("MG", 2, Strategy::Vanilla, 1)
+                    .run()
+                    .measured()
+                    .makespan_ms(),
+            )
+        })
+    });
+    group.bench_function("fig8_cell/specjbb_irs_1inter_2s", |b| {
+        b.iter(|| {
+            let r = Scenario::new(4, Strategy::Irs, 1)
+                .vm(
+                    VmScenario::new(presets::server::specjbb(4), 4)
+                        .pin_one_to_one()
+                        .measured(),
+                )
+                .vm(VmScenario::new(presets::hog::cpu_hogs(1), 4).pin_one_to_one())
+                .horizon(SimTime::from_secs(2))
+                .run();
+            black_box(r.measured().requests)
+        })
+    });
+    group.bench_function("fig12_cell/cg_irs_unpinned", |b| {
+        b.iter(|| {
+            let mut s = Scenario::fig5_style("CG", 4, Strategy::Irs, 1);
+            for vm in &mut s.vms {
+                vm.pinning = None;
+            }
+            black_box(s.run().measured().makespan_ms())
+        })
+    });
+    group.bench_function("pipeline/dedup_vanilla_1inter", |b| {
+        b.iter(|| {
+            black_box(
+                Scenario::fig5_style("dedup", 1, Strategy::Vanilla, 1)
+                    .run()
+                    .measured()
+                    .makespan_ms(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_runs);
+criterion_main!(benches);

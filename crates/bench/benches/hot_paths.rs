@@ -1,0 +1,155 @@
+//! Micro-benchmarks of the simulation's hot paths: event-queue operations,
+//! CFS pick-next, credit-scheduler decisions, and the migrator scan.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use irs_guest::{GuestConfig, GuestOs, VcpuView};
+use irs_sim::{EventQueue, SimTime};
+use irs_xen::{Hypervisor, PcpuId, SchedOp, VcpuRef, VmId, VmSpec, XenConfig};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/schedule_pop_1k", |b| {
+        b.iter_batched(
+            EventQueue::<u64>::new,
+            |mut q| {
+                for i in 0..1000u64 {
+                    q.schedule(SimTime::from_nanos(i * 37 % 4096), i);
+                }
+                while let Some(ev) = q.pop() {
+                    black_box(ev);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("event_queue/cancel_heavy", |b| {
+        b.iter_batched(
+            EventQueue::<u64>::new,
+            |mut q| {
+                let ids: Vec<_> = (0..1000u64)
+                    .map(|i| q.schedule(SimTime::from_nanos(i), i))
+                    .collect();
+                for id in ids.iter().step_by(2) {
+                    q.cancel(*id);
+                }
+                while let Some(ev) = q.pop() {
+                    black_box(ev);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn busy_guest() -> GuestOs {
+    let mut g = GuestOs::new(GuestConfig::with_irs(), 4);
+    for i in 0..16 {
+        g.spawn(i % 4);
+    }
+    g.start(SimTime::ZERO);
+    g
+}
+
+fn bench_guest(c: &mut Criterion) {
+    c.bench_function("guest/tick_with_balance", |b| {
+        let views = vec![VcpuView::running(); 4];
+        b.iter_batched(
+            busy_guest,
+            |mut g| {
+                for round in 0..32u64 {
+                    for v in 0..4 {
+                        g.account_runtime(v, SimTime::from_millis(1));
+                        black_box(g.tick(v, SimTime::from_millis(round), &views));
+                    }
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("guest/migrator_scan", |b| {
+        let views = vec![
+            VcpuView::preempted(0.6),
+            VcpuView::running(),
+            VcpuView::running(),
+            VcpuView::blocked(),
+        ];
+        b.iter_batched(
+            || {
+                let mut g = GuestOs::new(GuestConfig::with_irs(), 4);
+                for i in 0..4 {
+                    g.spawn(i);
+                }
+                g.start(SimTime::ZERO);
+                g.sa_upcall(0);
+                g
+            },
+            |mut g| black_box(g.migrator_run(&views)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn contended_hv() -> Hypervisor {
+    let mut hv = Hypervisor::new(XenConfig::default(), 4);
+    for _ in 0..3 {
+        hv.create_vm(VmSpec::new(4).pin(vec![PcpuId(0), PcpuId(1), PcpuId(2), PcpuId(3)]));
+    }
+    hv.start(SimTime::ZERO);
+    hv
+}
+
+fn bench_credit(c: &mut Criterion) {
+    c.bench_function("xen/slice_expiry_decision", |b| {
+        b.iter_batched(
+            contended_hv,
+            |mut hv| {
+                let mut now = SimTime::ZERO;
+                for _ in 0..16 {
+                    now += SimTime::from_millis(30);
+                    for p in 0..4 {
+                        if let Some(info) = hv.dispatch_info(PcpuId(p)) {
+                            black_box(hv.slice_expired(PcpuId(p), info.generation, now));
+                        }
+                    }
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("xen/tick_and_accounting", |b| {
+        b.iter_batched(
+            contended_hv,
+            |mut hv| {
+                for i in 1..=12u64 {
+                    let now = SimTime::from_millis(i * 10);
+                    black_box(hv.tick(now));
+                    if i % 3 == 0 {
+                        black_box(hv.accounting(now));
+                    }
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("xen/wake_boost_path", |b| {
+        b.iter_batched(
+            || {
+                let mut hv = contended_hv();
+                let v = VcpuRef::new(VmId(0), 0);
+                // Park vm0.v0 so each iteration can wake it.
+                if hv.pcpu_current(PcpuId(0)) != Some(v) {
+                    hv.sched_op(hv.pcpu_current(PcpuId(0)).unwrap(), SchedOp::Yield, SimTime::ZERO);
+                }
+                (hv, v)
+            },
+            |(mut hv, v): (Hypervisor, VcpuRef)| {
+                hv.sched_op(v, SchedOp::Block, SimTime::from_micros(10));
+                black_box(hv.vcpu_wake(v, SimTime::from_micros(20)));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_event_queue, bench_guest, bench_credit);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! The scheduler-activation round trip, isolated (paper Table-E1: the SA
+//! path adds 20–26 µs of *virtual* time to each preemption; this bench
+//! measures the *host-side* cost of simulating one full round).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use irs_guest::{GuestConfig, GuestOs, VcpuView};
+use irs_sim::SimTime;
+use irs_xen::{Hypervisor, PcpuId, SaConfig, SchedOp, VcpuRef, VmSpec, XenConfig};
+use std::hint::black_box;
+
+/// Sets up an SA-capable vCPU running with a competitor queued, one slice
+/// expiry away from an SA round.
+fn armed() -> (Hypervisor, GuestOs, VcpuRef) {
+    let mut hv = Hypervisor::new(
+        XenConfig {
+            sa: Some(SaConfig::default()),
+            ..XenConfig::default()
+        },
+        1,
+    );
+    let fg = hv.create_vm(VmSpec::new(1).pin_all(PcpuId(0)).sa_capable(true));
+    hv.create_vm(VmSpec::new(1).pin_all(PcpuId(0)));
+    hv.start(SimTime::ZERO);
+    let vfg = VcpuRef::new(fg, 0);
+    if hv.pcpu_current(PcpuId(0)) != Some(vfg) {
+        let cur = hv.pcpu_current(PcpuId(0)).unwrap();
+        hv.sched_op(cur, SchedOp::Yield, SimTime::ZERO);
+    }
+    assert_eq!(hv.pcpu_current(PcpuId(0)), Some(vfg));
+    let mut guest = GuestOs::new(GuestConfig::with_irs(), 1);
+    guest.spawn(0);
+    guest.spawn(0);
+    guest.start(SimTime::ZERO);
+    (hv, guest, vfg)
+}
+
+fn bench_sa_round(c: &mut Criterion) {
+    c.bench_function("sa/full_round_trip", |b| {
+        b.iter_batched(
+            armed,
+            |(mut hv, mut guest, vfg)| {
+                // 1. Slice expiry triggers the SA sender.
+                let info = hv.dispatch_info(PcpuId(0)).unwrap();
+                let sent = hv.slice_expired(PcpuId(0), info.generation, info.since + info.slice);
+                black_box(&sent);
+                // 2. Receiver + context switcher in the guest.
+                let outcome = guest.sa_upcall(0);
+                // 3. Acknowledgement completes the deferred preemption.
+                let done = hv.sched_op(vfg, outcome.op, info.since + info.slice + SimTime::from_micros(22));
+                black_box(done);
+                // 4. Migrator places the descheduled task.
+                let views = vec![VcpuView::preempted(0.5)];
+                black_box(guest.migrator_run(&views));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("sa/upcall_only", |b| {
+        b.iter_batched(
+            || {
+                let mut guest = GuestOs::new(GuestConfig::with_irs(), 2);
+                guest.spawn(0);
+                guest.spawn(0);
+                guest.spawn(1);
+                guest.start(SimTime::ZERO);
+                guest
+            },
+            |mut guest| black_box(guest.sa_upcall(0)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_sa_round);
+criterion_main!(benches);

@@ -1,0 +1,247 @@
+//! Ablations of the design choices DESIGN.md §5 calls out:
+//!
+//! 1. the Fig 4 pingpong-avoidance tagging,
+//! 2. the migrator's idle-first target rule,
+//! 3. the SA delay budget,
+//! 4. the §6 pull-based oracle.
+
+use crate::{mean_makespan_ms, Opts};
+use irs_core::{Scenario, Strategy, System, SystemConfig};
+use irs_guest::GuestSaConfig;
+use irs_metrics::{improvement_pct, Series, Summary, Table};
+use irs_sim::SimTime;
+
+fn with_sa_override(
+    bench: &str,
+    n_inter: usize,
+    seed: u64,
+    sa: GuestSaConfig,
+) -> Scenario {
+    let mut s = Scenario::fig5_style(bench, n_inter, Strategy::Irs, seed);
+    s.vms[0].sa_override = Some(sa);
+    s
+}
+
+/// Ablation 1: IRS with and without the Fig 4 pingpong-avoidance tagging,
+/// on blocking workloads (the fix targets wake-up migration of waiters).
+pub fn ablate_pingpong(opts: Opts) -> Table {
+    let mut table = Table::new("Ablation — Fig 4 pingpong tagging (IRS improvement %, blocking)");
+    let mut with = Series::new("tagging on");
+    let mut without = Series::new("tagging off");
+    for bench in ["streamcluster", "fluidanimate", "facesim", "bodytrack"] {
+        for n_inter in [1usize, 2] {
+            let base = mean_makespan_ms(opts, |seed| {
+                Scenario::fig5_style(bench, n_inter, Strategy::Vanilla, seed)
+            });
+            let on = mean_makespan_ms(opts, |seed| {
+                Scenario::fig5_style(bench, n_inter, Strategy::Irs, seed)
+            });
+            let off = mean_makespan_ms(opts, |seed| {
+                with_sa_override(
+                    bench,
+                    n_inter,
+                    seed,
+                    GuestSaConfig {
+                        pingpong_tagging: false,
+                        ..GuestSaConfig::default()
+                    },
+                )
+            });
+            let label = format!("{bench} {n_inter}-inter.");
+            with.point(label.clone(), improvement_pct(base, on));
+            without.point(label, improvement_pct(base, off));
+        }
+    }
+    table.add(with);
+    table.add(without);
+    table
+}
+
+/// Ablation 2: the migrator's idle-first fast path versus pure `rt_avg`
+/// ranking.
+pub fn ablate_idle_first(opts: Opts) -> Table {
+    let mut table =
+        Table::new("Ablation — migrator idle-first rule (IRS improvement %, blocking)");
+    let mut with = Series::new("idle-first");
+    let mut without = Series::new("rt_avg only");
+    for bench in ["streamcluster", "blackscholes", "facesim"] {
+        for n_inter in [1usize, 2] {
+            let base = mean_makespan_ms(opts, |seed| {
+                Scenario::fig5_style(bench, n_inter, Strategy::Vanilla, seed)
+            });
+            let on = mean_makespan_ms(opts, |seed| {
+                Scenario::fig5_style(bench, n_inter, Strategy::Irs, seed)
+            });
+            let off = mean_makespan_ms(opts, |seed| {
+                with_sa_override(
+                    bench,
+                    n_inter,
+                    seed,
+                    GuestSaConfig {
+                        idle_first: false,
+                        ..GuestSaConfig::default()
+                    },
+                )
+            });
+            let label = format!("{bench} {n_inter}-inter.");
+            with.point(label.clone(), improvement_pct(base, on));
+            without.point(label, improvement_pct(base, off));
+        }
+    }
+    table.add(with);
+    table.add(without);
+    table
+}
+
+/// Ablation 3: sweep of the SA processing delay the guest imposes on the
+/// hypervisor's schedule path (paper §3.1: 20–26 µs measured; larger
+/// budgets delay every preemption).
+pub fn ablate_sa_delay(opts: Opts) -> Table {
+    let mut table = Table::new("Ablation — SA delay budget sweep (IRS improvement %, streamcluster)");
+    for n_inter in [1usize, 2] {
+        let mut series = Series::new(format!("{n_inter}-inter."));
+        let base = mean_makespan_ms(opts, |seed| {
+            Scenario::fig5_style("streamcluster", n_inter, Strategy::Vanilla, seed)
+        });
+        for delay_us in [0u64, 22, 100, 200, 400] {
+            let makespan = mean_makespan_ms(opts, |seed| {
+                with_sa_override(
+                    "streamcluster",
+                    n_inter,
+                    seed,
+                    GuestSaConfig {
+                        receiver_delay: SimTime::from_micros(delay_us / 10),
+                        context_switch_cost: SimTime::from_micros(delay_us - delay_us / 10),
+                        ..GuestSaConfig::default()
+                    },
+                )
+            });
+            series.point(format!("{delay_us}us"), improvement_pct(base, makespan));
+        }
+        table.add(series);
+    }
+    table
+}
+
+/// Ablation 4: the §6 pull-based oracle versus the shipped push-based IRS.
+pub fn ablate_pull(opts: Opts) -> Table {
+    let mut table = Table::new("Ablation — §6 pull-based oracle vs push-based IRS (improvement %)");
+    let mut push = Series::new("IRS (push)");
+    let mut pull = Series::new("IRS-pull (oracle)");
+    for bench in ["streamcluster", "fluidanimate", "blackscholes", "facesim"] {
+        for n_inter in [1usize, 2] {
+            let base = mean_makespan_ms(opts, |seed| {
+                Scenario::fig5_style(bench, n_inter, Strategy::Vanilla, seed)
+            });
+            let p = mean_makespan_ms(opts, |seed| {
+                Scenario::fig5_style(bench, n_inter, Strategy::Irs, seed)
+            });
+            let o = mean_makespan_ms(opts, |seed| {
+                Scenario::fig5_style(bench, n_inter, Strategy::IrsPull, seed)
+            });
+            let label = format!("{bench} {n_inter}-inter.");
+            push.point(label.clone(), improvement_pct(base, p));
+            pull.point(label, improvement_pct(base, o));
+        }
+    }
+    table.add(push);
+    table.add(pull);
+    table
+}
+
+/// Extension: hypervisor slice-length sensitivity (KVM uses ~6 ms, Xen
+/// 30 ms, VMware ~50 ms — §3.1). Vanilla's LHP cost scales with the slice;
+/// IRS's cost does not, so the IRS advantage should grow with the slice.
+pub fn ablate_slice(opts: Opts) -> Table {
+    let mut table = Table::new(
+        "Extension — hypervisor slice length sweep (streamcluster, 2-inter)",
+    );
+    let mut vanilla = Series::new("vanilla makespan (ms)");
+    let mut irs = Series::new("IRS makespan (ms)");
+    let mut gain = Series::new("IRS improvement (%)");
+    for (label, slice_ms) in [("6ms (KVM)", 6u64), ("30ms (Xen)", 30), ("50ms (VMware)", 50)] {
+        let base = mean_makespan_ms(opts, |seed| {
+            Scenario::fig5_style("streamcluster", 2, Strategy::Vanilla, seed)
+                .time_slice(SimTime::from_millis(slice_ms))
+        });
+        let with = mean_makespan_ms(opts, |seed| {
+            Scenario::fig5_style("streamcluster", 2, Strategy::Irs, seed)
+                .time_slice(SimTime::from_millis(slice_ms))
+        });
+        vanilla.point(label, base);
+        irs.point(label, with);
+        gain.point(label, improvement_pct(base, with));
+    }
+    table.add(vanilla);
+    table.add(irs);
+    table.add(gain);
+    table
+}
+
+/// Extension: paravirtual spin-then-halt on the spinning NPB waiters
+/// (§5.1 enables pv spinlocks but OpenMP's user-level spinning bypasses
+/// them; this asks what happens if the waiters *did* halt).
+pub fn ablate_pv_spin(opts: Opts) -> Table {
+    let mut table = Table::new(
+        "Extension — paravirtual spin-then-halt on spinning waiters (makespan ms)",
+    );
+    let run = |bench: &str, n_inter: usize, strategy: Strategy, pv: Option<SimTime>| -> f64 {
+        let samples: Vec<f64> = (0..opts.seeds)
+            .map(|i| {
+                let scenario = Scenario::fig5_style(bench, n_inter, strategy, opts.base_seed + i);
+                let cfg = SystemConfig {
+                    pv_spin: pv,
+                    ..SystemConfig::default()
+                };
+                System::with_config(scenario, cfg)
+                    .run()
+                    .measured()
+                    .makespan_ms()
+            })
+            .collect();
+        Summary::of(&samples).mean
+    };
+    let budget = Some(SimTime::from_micros(100));
+    for strategy in [Strategy::Vanilla, Strategy::Irs] {
+        let mut plain = Series::new(format!("{strategy}, user spin"));
+        let mut pv = Series::new(format!("{strategy}, pv spin-halt"));
+        for bench in ["MG", "CG", "UA"] {
+            for n_inter in [1usize, 2] {
+                let label = format!("{bench} {n_inter}-inter.");
+                plain.point(label.clone(), run(bench, n_inter, strategy, None));
+                pv.point(label, run(bench, n_inter, strategy, budget));
+            }
+        }
+        table.add(plain);
+        table.add(pv);
+    }
+    table
+}
+
+/// Extension: strict (gang) co-scheduling — the VMware ESX 2.x baseline of
+/// §2.1. Immune to LHP/LWP by construction, but the small co-located VM's
+/// slot idles every other pCPU: CPU fragmentation, measured directly.
+pub fn ablate_strict_co(opts: Opts) -> Table {
+    let mut table = Table::new(
+        "Extension — strict co-scheduling vs vanilla/IRS (1 hog; fragmentation visible)",
+    );
+    for strategy in [Strategy::Vanilla, Strategy::Irs, Strategy::StrictCo] {
+        let mut makespan = Series::new(format!("{strategy} makespan (ms)"));
+        let mut idle = Series::new(format!("{strategy} machine idle (%)"));
+        for bench in ["streamcluster", "MG"] {
+            let mut ms = Vec::new();
+            let mut idle_frac = Vec::new();
+            for i in 0..opts.seeds {
+                let r = Scenario::fig5_style(bench, 1, strategy, opts.base_seed + i).run();
+                ms.push(r.measured().makespan_ms());
+                let total_cpu: f64 = r.vms.iter().map(|v| v.cpu_time.as_secs_f64()).sum();
+                idle_frac.push((1.0 - total_cpu / (4.0 * r.elapsed.as_secs_f64())) * 100.0);
+            }
+            makespan.point(bench, Summary::of(&ms).mean);
+            idle.point(bench, Summary::of(&idle_frac).mean);
+        }
+        table.add(makespan);
+        table.add(idle);
+    }
+    table
+}

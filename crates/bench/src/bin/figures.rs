@@ -1,0 +1,166 @@
+//! Regenerates the paper's tables and figures as fixed-width text (and
+//! optionally CSV).
+//!
+//! ```text
+//! figures <experiment>... [--seeds N] [--base-seed S] [--quick] [--csv DIR]
+//!
+//! experiments:
+//!   fig1a fig1b fig2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
+//!   fairness sa_stats stacking_baseline
+//!   ablate_pingpong ablate_idle_first ablate_sa_delay ablate_pull
+//!   ablate_slice ablate_pv_spin
+//!   core   (= the per-figure set used by EXPERIMENTS.md)
+//!   all
+//! ```
+
+use irs_bench::fig5_6::Interference;
+use irs_bench::Opts;
+use irs_metrics::Table;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: figures <experiment>... [--seeds N] [--base-seed S] [--quick] [--csv DIR]\n\
+         experiments: fig1a fig1b fig2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13\n\
+         \u{20}            fairness sa_stats stacking_baseline\n\
+         \u{20}            ablate_pingpong ablate_idle_first ablate_sa_delay ablate_pull\n\
+         \u{20}            ablate_slice ablate_pv_spin ablate_strict_co io_latency\n\
+         \u{20}            core all"
+    );
+    std::process::exit(2);
+}
+
+/// Builds the tables for one experiment name.
+fn run_experiment(exp: &str, opts: Opts) -> Vec<Table> {
+    match exp {
+        "fig1a" => vec![irs_bench::fig1::fig1a(opts)],
+        "fig1b" => vec![irs_bench::fig1::fig1b(opts)],
+        "fig2" => vec![irs_bench::fig2::fig2(opts)],
+        "fig5" => [
+            Interference::Micro,
+            Interference::RealApp("streamcluster"),
+            Interference::RealApp("fluidanimate"),
+        ]
+        .into_iter()
+        .map(|i| irs_bench::fig5_6::fig5(opts, i))
+        .collect(),
+        "fig6" => [
+            Interference::Micro,
+            Interference::RealApp("UA"),
+            Interference::RealApp("LU"),
+        ]
+        .into_iter()
+        .map(|i| irs_bench::fig5_6::fig6(opts, i))
+        .collect(),
+        "fig7" => ["fluidanimate", "streamcluster"]
+            .into_iter()
+            .map(|bg| irs_bench::fig7_9::fig7(opts, bg))
+            .collect(),
+        "fig8" => vec![irs_bench::fig8::fig8(opts), irs_bench::fig8::fig8_raw(opts)],
+        "fig9" => ["LU", "UA"]
+            .into_iter()
+            .map(|bg| irs_bench::fig7_9::fig9(opts, bg))
+            .collect(),
+        "fig10" => vec![irs_bench::fig10_11::fig10(opts)],
+        "fig11" => vec![irs_bench::fig10_11::fig11(opts)],
+        "fig12" => vec![irs_bench::fig12_13::fig12(opts)],
+        "fig13" => vec![irs_bench::fig12_13::fig13(opts)],
+        "fairness" => vec![irs_bench::fairness::fairness(opts)],
+        "sa_stats" => vec![irs_bench::fairness::sa_stats(opts)],
+        "stacking_baseline" => vec![irs_bench::fig12_13::stacking_baseline(opts)],
+        "ablate_pingpong" => vec![irs_bench::ablations::ablate_pingpong(opts)],
+        "ablate_idle_first" => vec![irs_bench::ablations::ablate_idle_first(opts)],
+        "ablate_sa_delay" => vec![irs_bench::ablations::ablate_sa_delay(opts)],
+        "ablate_pull" => vec![irs_bench::ablations::ablate_pull(opts)],
+        "ablate_slice" => vec![irs_bench::ablations::ablate_slice(opts)],
+        "ablate_pv_spin" => vec![irs_bench::ablations::ablate_pv_spin(opts)],
+        "io_latency" => vec![irs_bench::io_latency::io_latency(opts)],
+        "ablate_strict_co" => vec![irs_bench::ablations::ablate_strict_co(opts)],
+        other => {
+            eprintln!("unknown experiment: {other}");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut opts = Opts::default();
+    let mut csv_dir: Option<String> = None;
+    let mut experiments: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => opts = Opts { seeds: 1, ..opts },
+            "--seeds" => {
+                let n = it.next().unwrap_or_else(|| usage());
+                opts.seeds = n.parse().unwrap_or_else(|_| usage());
+            }
+            "--base-seed" => {
+                let n = it.next().unwrap_or_else(|| usage());
+                opts.base_seed = n.parse().unwrap_or_else(|_| usage());
+            }
+            "--csv" => {
+                csv_dir = Some(it.next().unwrap_or_else(|| usage()));
+            }
+            other if other.starts_with('-') => usage(),
+            other => experiments.push(other.to_string()),
+        }
+    }
+
+    const CORE: [&str; 14] = [
+        "fig1a", "fig1b", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+        "fig12", "fig13", "fairness", "sa_stats",
+    ];
+    const EXTRA: [&str; 9] = [
+        "io_latency",
+        "ablate_strict_co",
+        "stacking_baseline",
+        "ablate_pingpong",
+        "ablate_idle_first",
+        "ablate_sa_delay",
+        "ablate_pull",
+        "ablate_slice",
+        "ablate_pv_spin",
+    ];
+
+    let mut queue: Vec<String> = Vec::new();
+    for e in &experiments {
+        match e.as_str() {
+            "all" => queue.extend(CORE.iter().chain(EXTRA.iter()).map(|s| s.to_string())),
+            "core" => queue.extend(CORE.iter().map(|s| s.to_string())),
+            other => queue.push(other.to_string()),
+        }
+    }
+
+    if let Some(dir) = &csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create csv directory {dir}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    for exp in queue {
+        let start = Instant::now();
+        let tables = run_experiment(&exp, opts);
+        for (i, table) in tables.iter().enumerate() {
+            print!("{table}");
+            if let Some(dir) = &csv_dir {
+                let path = if tables.len() == 1 {
+                    format!("{dir}/{exp}.csv")
+                } else {
+                    format!("{dir}/{exp}_{i}.csv")
+                };
+                if let Err(e) = std::fs::write(&path, table.to_csv()) {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        eprintln!("[{exp} done in {:.1}s]", start.elapsed().as_secs_f64());
+        println!();
+    }
+}

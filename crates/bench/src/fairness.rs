@@ -1,0 +1,74 @@
+//! The §5.4 fairness audit: IRS must not let the foreground VM exceed its
+//! fair CPU share, and the SA delay must stay in the paper's 20–26 µs band.
+
+use crate::Opts;
+use irs_core::{Scenario, Strategy};
+use irs_metrics::{Series, Summary, Table};
+
+/// Fairness audit: foreground-VM CPU share of the contended pCPUs under
+/// vanilla and IRS. With `n_inter` hogs the foreground's fair share of the
+/// whole 4-pCPU machine is `4 - n_inter/2` pCPUs.
+pub fn fairness(opts: Opts) -> Table {
+    let mut table = Table::new(
+        "Fairness — foreground CPU consumption relative to fair share (must be <= ~1)",
+    );
+    for strategy in [Strategy::Vanilla, Strategy::Irs] {
+        let mut series = Series::new(format!("{strategy}"));
+        for bench in ["streamcluster", "UA"] {
+            for n_inter in [1usize, 2, 4] {
+                let fair_pcpus = 4.0 - n_inter as f64 / 2.0;
+                let samples: Vec<f64> = (0..opts.seeds)
+                    .map(|i| {
+                        let r =
+                            Scenario::fig5_style(bench, n_inter, strategy, opts.base_seed + i)
+                                .run();
+                        r.measured().utilization_vs_fair_share(fair_pcpus, r.elapsed)
+                    })
+                    .collect();
+                series.point(
+                    format!("{bench} {n_inter}-inter."),
+                    Summary::of(&samples).mean,
+                );
+            }
+        }
+        table.add(series);
+    }
+    table
+}
+
+/// SA round statistics: rounds sent/acked/timed out and the per-round
+/// delay imposed on the hypervisor's schedule path (configured per §3.1's
+/// 20–26 µs profile; the audit confirms timeouts never fire).
+pub fn sa_stats(opts: Opts) -> Table {
+    let mut table = Table::new("SA round statistics (IRS, streamcluster, per interference level)");
+    let mut sent = Series::new("sa sent");
+    let mut acked = Series::new("sa acked");
+    let mut timeouts = Series::new("sa timeouts");
+    let mut migrations = Series::new("migrator moves");
+    let mut idle_targets = Series::new("idle-vCPU targets");
+    for n_inter in [1usize, 2, 4] {
+        let mut s = [0f64; 5];
+        for i in 0..opts.seeds {
+            let r = Scenario::fig5_style("streamcluster", n_inter, Strategy::Irs, opts.base_seed + i)
+                .run();
+            s[0] += r.hv.sa_sent as f64;
+            s[1] += r.hv.sa_acked as f64;
+            s[2] += r.hv.sa_timeouts as f64;
+            s[3] += r.measured().guest.sa_migrations as f64;
+            s[4] += r.measured().guest.sa_idle_targets as f64;
+        }
+        let n = opts.seeds as f64;
+        let label = format!("{n_inter}-inter.");
+        sent.point(label.clone(), s[0] / n);
+        acked.point(label.clone(), s[1] / n);
+        timeouts.point(label.clone(), s[2] / n);
+        migrations.point(label.clone(), s[3] / n);
+        idle_targets.point(label, s[4] / n);
+    }
+    table.add(sent);
+    table.add(acked);
+    table.add(timeouts);
+    table.add(migrations);
+    table.add(idle_targets);
+    table
+}

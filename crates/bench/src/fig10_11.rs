@@ -1,0 +1,70 @@
+//! Figures 10 and 11: scalability and sensitivity (§5.5).
+//!
+//! Fig 10: 8-vCPU VMs on 8 pCPUs, IRS improvement as the number of
+//! interfered vCPUs grows 1→8, for four synchronization archetypes.
+//! Fig 11: IRS improvement as the consolidation depth grows (1–3
+//! interfering VMs per contended pCPU).
+
+use crate::{improvement_over_vanilla, Opts};
+use irs_core::{Scenario, Strategy};
+use irs_metrics::{Series, Table};
+
+/// The four archetypes the paper selects: x264 (mutex), blackscholes
+/// (barrier), EP (blocking, little sync), MG (spinning).
+pub const ARCHETYPES: [&str; 4] = ["x264", "blackscholes", "EP", "MG"];
+
+/// Background interference options per archetype, as in the paper: the
+/// micro-benchmark plus two real applications (PARSEC ones for PARSEC
+/// benchmarks, NPB ones for NPB benchmarks).
+pub fn backgrounds_for(bench: &str) -> [Option<&'static str>; 3] {
+    if irs_workloads::presets::NPB_NAMES
+        .iter()
+        .any(|n| n.eq_ignore_ascii_case(bench))
+    {
+        [None, Some("LU"), Some("UA")]
+    } else {
+        [None, Some("fluidanimate"), Some("streamcluster")]
+    }
+}
+
+/// Fig 10: IRS improvement vs number of interfered vCPUs (1..=8).
+pub fn fig10(opts: Opts) -> Table {
+    let mut table = Table::new(
+        "Fig 10 — IRS improvement (%) with a varying number of interferences (8-vCPU VMs)",
+    );
+    for bench in ARCHETYPES {
+        for bg in backgrounds_for(bench) {
+            let bg_label = bg.map_or("microbenchmark".to_string(), |b| b.to_string());
+            let mut series = Series::new(format!("{bench} w/ {bg_label}"));
+            for n_inter in 1..=8usize {
+                let imp = improvement_over_vanilla(opts, Strategy::Irs, |strat, seed| {
+                    Scenario::fig10_style(bench, bg, n_inter, strat, seed)
+                });
+                series.point(format!("{n_inter}"), imp);
+            }
+            table.add(series);
+        }
+    }
+    table
+}
+
+/// Fig 11: IRS improvement vs number of interfering VMs (1..=3) at
+/// {1, 2, 4} interfered vCPUs.
+pub fn fig11(opts: Opts) -> Table {
+    let mut table = Table::new(
+        "Fig 11 — IRS improvement (%) with a varying degree of interference (1-3 VMs per pCPU)",
+    );
+    for bench in ARCHETYPES {
+        for n_inter in [1usize, 2, 4] {
+            let mut series = Series::new(format!("{bench} {n_inter}-inter."));
+            for n_vms in 1..=3usize {
+                let imp = improvement_over_vanilla(opts, Strategy::Irs, |strat, seed| {
+                    Scenario::fig11_style(bench, n_inter, n_vms, strat, seed)
+                });
+                series.point(format!("{n_vms} VM"), imp);
+            }
+            table.add(series);
+        }
+    }
+    table
+}

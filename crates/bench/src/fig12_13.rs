@@ -1,0 +1,74 @@
+//! Figures 12 and 13: the CPU-stacking study (§5.6) — all vCPUs unpinned,
+//! 4-inter CPU hogs, hypervisor-level load balancing active.
+//!
+//! Also the §2.3 baseline: how much unpinning alone costs vanilla
+//! Xen/Linux (the "5-20x" stacking observation, at our simulator's scale).
+
+use crate::{improvement_over_vanilla, mean_makespan_ms, Opts, STRATEGIES};
+use irs_core::{Scenario, Strategy};
+use irs_metrics::{Series, Table};
+use irs_workloads::presets;
+
+/// Builds an unpinned 4-inter scenario (the stacking configuration).
+pub fn unpinned_scenario(bench: &str, strategy: Strategy, seed: u64) -> Scenario {
+    let mut s = Scenario::fig5_style(bench, 4, strategy, seed);
+    for vm in &mut s.vms {
+        vm.pinning = None;
+    }
+    s
+}
+
+fn stacking_panel(title: &str, benches: &[&str], opts: Opts) -> Table {
+    let mut table = Table::new(title.to_string());
+    for strategy in STRATEGIES {
+        let mut series = Series::new(format!("{strategy}"));
+        for &bench in benches {
+            let imp = improvement_over_vanilla(opts, strategy, |strat, seed| {
+                unpinned_scenario(bench, strat, seed)
+            });
+            series.point(bench, imp);
+        }
+        table.add(series);
+    }
+    table
+}
+
+/// Fig 12: NPB performance in response to CPU stacking (no deceptive
+/// idleness — NPB spins — so every strategy has room to help).
+pub fn fig12(opts: Opts) -> Table {
+    stacking_panel(
+        "Fig 12 — NPB performance in response to CPU stacking (improvement %, unpinned, 4-inter)",
+        &presets::NPB_NAMES,
+        opts,
+    )
+}
+
+/// Fig 13: PARSEC performance in response to CPU stacking (deceptive
+/// idleness: PLE and relaxed-co can make things worse; IRS keeps vCPUs
+/// exhibiting their factual demand).
+pub fn fig13(opts: Opts) -> Table {
+    stacking_panel(
+        "Fig 13 — PARSEC performance in response to CPU stacking (improvement %, unpinned, 4-inter)",
+        &presets::PARSEC_NAMES,
+        opts,
+    )
+}
+
+/// §2.3 baseline: vanilla slowdown of unpinning versus the pinned setup —
+/// the cost of CPU stacking itself.
+pub fn stacking_baseline(opts: Opts) -> Table {
+    let mut table =
+        Table::new("CPU stacking baseline — vanilla unpinned vs pinned slowdown (factor)");
+    let mut series = Series::new("unpinned / pinned");
+    for bench in ["streamcluster", "fluidanimate", "canneal", "MG", "CG", "UA"] {
+        let pinned = mean_makespan_ms(opts, |seed| {
+            Scenario::fig5_style(bench, 4, Strategy::Vanilla, seed)
+        });
+        let unpinned = mean_makespan_ms(opts, |seed| {
+            unpinned_scenario(bench, Strategy::Vanilla, seed)
+        });
+        series.point(bench, irs_metrics::slowdown(pinned, unpinned));
+    }
+    table.add(series);
+    table
+}

@@ -1,0 +1,88 @@
+//! Figures 5 and 6: per-benchmark performance improvement over vanilla
+//! Xen/Linux, for {1, 2, 4} interfered vCPUs × {PLE, Relaxed-Co, IRS},
+//! under micro-benchmark or real-application interference.
+
+use crate::{improvement_over_vanilla, Opts, STRATEGIES};
+use irs_core::Scenario;
+use irs_metrics::{Series, Table};
+use irs_workloads::presets;
+
+/// The interference running in the background VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interference {
+    /// CPU hogs (the paper's micro-benchmark).
+    Micro,
+    /// A real parallel application, repeated for the whole run.
+    RealApp(&'static str),
+}
+
+impl Interference {
+    /// Panel label, matching the paper's sub-captions.
+    pub fn label(&self) -> String {
+        match self {
+            Interference::Micro => "w/ Microbenchmark".to_string(),
+            Interference::RealApp(name) => format!("w/ {name}"),
+        }
+    }
+}
+
+fn scenario(
+    bench: &str,
+    inter: Interference,
+    n_inter: usize,
+    strategy: irs_core::Strategy,
+    seed: u64,
+) -> Scenario {
+    match inter {
+        Interference::Micro => Scenario::fig5_style(bench, n_inter, strategy, seed),
+        Interference::RealApp(bg) => {
+            Scenario::real_interference(bench, bg, n_inter, strategy, seed)
+        }
+    }
+}
+
+/// One panel of Fig 5/6: improvement (%) for every benchmark in `benches`,
+/// with series `{1,2,4}-inter × {PLE, Relaxed-Co, IRS}`.
+pub fn improvement_panel(
+    title: &str,
+    benches: &[&str],
+    inter: Interference,
+    opts: Opts,
+) -> Table {
+    let mut table = Table::new(format!("{title} ({})", inter.label()));
+    for n_inter in [1usize, 2, 4] {
+        for strategy in STRATEGIES {
+            let mut series = Series::new(format!("{n_inter}-inter. {strategy}"));
+            for &bench in benches {
+                let imp = improvement_over_vanilla(opts, strategy, |strat, seed| {
+                    scenario(bench, inter, n_inter, strat, seed)
+                });
+                series.point(bench, imp);
+            }
+            table.add(series);
+        }
+    }
+    table
+}
+
+/// Fig 5: PARSEC (blocking) improvement, one panel per interference type
+/// (micro-benchmark, streamcluster, fluidanimate).
+pub fn fig5(opts: Opts, inter: Interference) -> Table {
+    improvement_panel(
+        "Fig 5 — improvement on PARSEC performance (blocking)",
+        &presets::PARSEC_NAMES,
+        inter,
+        opts,
+    )
+}
+
+/// Fig 6: NPB (spinning) improvement, one panel per interference type
+/// (micro-benchmark, UA, LU).
+pub fn fig6(opts: Opts, inter: Interference) -> Table {
+    improvement_panel(
+        "Fig 6 — improvement on NPB performance (spinning)",
+        &presets::NPB_NAMES,
+        inter,
+        opts,
+    )
+}

@@ -1,0 +1,94 @@
+//! Figures 7 and 9: system-wide weighted speedup when the measured
+//! application is consolidated with a real background application.
+//!
+//! Speedup of the foreground is `vanilla makespan / makespan`; the
+//! background application never terminates (it repeats), so its speedup is
+//! its useful-work *rate* relative to vanilla. The weighted speedup is the
+//! average of the two, reported in percent (100 = vanilla parity).
+
+use crate::{Opts, STRATEGIES};
+use irs_core::{RunResult, Scenario, Strategy};
+use irs_metrics::{Series, Summary, Table};
+use irs_workloads::presets;
+
+/// Foreground makespan (ms) and background useful-work rate for one run.
+fn fg_bg(result: &RunResult) -> (f64, f64) {
+    let fg = result.measured().makespan_ms();
+    let bg = result.vms[1].work_rate(result.elapsed);
+    (fg, bg)
+}
+
+/// Mean (foreground cost, background rate) over the seeds.
+fn mean_fg_bg(
+    opts: Opts,
+    bench: &str,
+    background: &str,
+    n_inter: usize,
+    strategy: Strategy,
+) -> (f64, f64) {
+    let mut fgs = Vec::new();
+    let mut bgs = Vec::new();
+    for i in 0..opts.seeds {
+        let r = Scenario::real_interference(bench, background, n_inter, strategy, opts.base_seed + i)
+            .run();
+        let (fg, bg) = fg_bg(&r);
+        fgs.push(fg);
+        bgs.push(bg);
+    }
+    (Summary::of(&fgs).mean, Summary::of(&bgs).mean)
+}
+
+/// Weighted speedup (%) of `strategy` against vanilla for one cell.
+pub fn weighted_speedup_pct(
+    opts: Opts,
+    bench: &str,
+    background: &str,
+    n_inter: usize,
+    strategy: Strategy,
+) -> f64 {
+    let (fg_v, bg_v) = mean_fg_bg(opts, bench, background, n_inter, Strategy::Vanilla);
+    let (fg_s, bg_s) = mean_fg_bg(opts, bench, background, n_inter, strategy);
+    let fg_speedup = if fg_s > 0.0 { fg_v / fg_s } else { 0.0 };
+    let bg_speedup = if bg_v > 0.0 { bg_s / bg_v } else { 0.0 };
+    (fg_speedup + bg_speedup) / 2.0 * 100.0
+}
+
+/// One weighted-speedup panel over `benches` with `background` interference.
+pub fn weighted_panel(title: &str, benches: &[&str], background: &str, opts: Opts) -> Table {
+    let mut table = Table::new(format!("{title} (w/ {background})"));
+    for n_inter in [1usize, 2, 4] {
+        for strategy in STRATEGIES {
+            let mut series = Series::new(format!("{n_inter}-inter. {strategy}"));
+            for &bench in benches {
+                series.point(
+                    bench,
+                    weighted_speedup_pct(opts, bench, background, n_inter, strategy),
+                );
+            }
+            table.add(series);
+        }
+    }
+    table
+}
+
+/// Fig 7: weighted speedup of PARSEC applications (panels: fluidanimate
+/// and streamcluster backgrounds).
+pub fn fig7(opts: Opts, background: &str) -> Table {
+    weighted_panel(
+        "Fig 7 — weighted speedup of two PARSEC applications (higher is better)",
+        &presets::PARSEC_NAMES,
+        background,
+        opts,
+    )
+}
+
+/// Fig 9: weighted speedup of NPB applications (panels: LU and UA
+/// backgrounds).
+pub fn fig9(opts: Opts, background: &str) -> Table {
+    weighted_panel(
+        "Fig 9 — weighted speedup of NPB applications (higher is better)",
+        &presets::NPB_NAMES,
+        background,
+        opts,
+    )
+}

@@ -1,0 +1,191 @@
+//! Per-VM runtime state: the guest kernel, the workload, and execution
+//! bookkeeping.
+
+use irs_guest::GuestOs;
+use irs_sim::SimTime;
+use irs_sync::SyncSpace;
+use irs_workloads::{OpenLoop, ProgramRunner, WorkloadKind};
+use irs_xen::RunstateInfo;
+use std::collections::VecDeque;
+
+/// What a task is doing right now, from the execution engine's viewpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Activity {
+    /// Needs the next program step as soon as it executes (fresh task,
+    /// completed wait, or granted lock).
+    Resume,
+    /// Computing; `remaining` ns of the segment left, `useful` credited on
+    /// completion.
+    Computing { remaining: u64, useful: u64 },
+    /// Busy-waiting. `granted` flips when ownership arrives; the task
+    /// proceeds the next time it executes.
+    SpinWait { granted: bool },
+    /// The brief spin phase of a *blocking* wait (futex/adaptive-mutex
+    /// grace): behaves like a spin until the grace timer expires, then the
+    /// task actually sleeps. This is the "very short period of time
+    /// spinning when performing wait queue operations" that PLE reacts to
+    /// on blocking workloads (paper §5.2). `granted` flips when the wait is
+    /// satisfied during the window — the fast hand-off path.
+    GraceSpin { granted: bool },
+    /// Asleep on a synchronization object, awaiting an explicit wake.
+    BlockedSync,
+    /// Asleep on a timer.
+    Sleeping,
+    /// Program finished.
+    Done,
+}
+
+/// Execution context: which task is consuming CPU on a vCPU, since when.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ExecCtx {
+    pub task: usize,
+    pub since: SimTime,
+}
+
+/// Per-task runtime state.
+#[derive(Debug)]
+pub(crate) struct TaskRt {
+    pub runner: ProgramRunner,
+    pub activity: Activity,
+    /// Invalidates outstanding `TaskStep` events.
+    pub step_gen: u64,
+    /// Pending cache warm-up penalty (ns) added to the next segment.
+    pub penalty_ns: u64,
+    /// Invalidates outstanding grace-expiry events.
+    pub wait_gen: u64,
+    /// Open request timestamp (`RequestStart` or queue-arrival pairing).
+    pub req_open: Option<SimTime>,
+}
+
+/// EWMA steal estimator per vCPU (the guest-visible paravirtual steal
+/// clock; sampled against the hypervisor's runstate accounting).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StealTracker {
+    last_runnable: SimTime,
+    last_total: SimTime,
+    pub ewma: f64,
+}
+
+impl StealTracker {
+    pub fn new() -> Self {
+        StealTracker {
+            last_runnable: SimTime::ZERO,
+            last_total: SimTime::ZERO,
+            ewma: 0.0,
+        }
+    }
+
+    /// Folds a fresh runstate snapshot in. Windows shorter than 1 ms reuse
+    /// the previous estimate (too noisy to update).
+    pub fn update(&mut self, info: &RunstateInfo) -> f64 {
+        let total = info.total();
+        let window = total.saturating_sub(self.last_total);
+        if window >= SimTime::from_millis(1) {
+            let stolen = info.runnable.saturating_sub(self.last_runnable);
+            let frac = stolen.ratio(window).clamp(0.0, 1.0);
+            self.ewma = 0.5 * self.ewma + 0.5 * frac;
+            self.last_total = total;
+            self.last_runnable = info.runnable;
+        }
+        self.ewma
+    }
+}
+
+/// Everything the simulation keeps per VM.
+#[derive(Debug)]
+pub(crate) struct Domain {
+    pub name: String,
+    pub os: GuestOs,
+    pub space: SyncSpace,
+    pub tasks: Vec<TaskRt>,
+    pub kind: WorkloadKind,
+    pub memory_intensity: f64,
+    pub open_loop: Option<OpenLoop>,
+    /// Arrival timestamps of items queued in the open-loop channel.
+    pub arrivals: VecDeque<SimTime>,
+    /// Per-vCPU execution context.
+    pub exec: Vec<Option<ExecCtx>>,
+    /// Per-vCPU guest-tick generation.
+    pub tick_gen: Vec<u64>,
+    /// When each vCPU last processed a guest tick (drives catch-up ticks:
+    /// an overdue timer fires immediately on resume, as a real pending
+    /// timer IRQ would).
+    pub last_tick: Vec<SimTime>,
+    /// Per-vCPU PLE-window generation.
+    pub ple_gen: Vec<u64>,
+    /// Per-vCPU SA-round generation (guards SaProcess staleness).
+    pub steal: Vec<StealTracker>,
+    pub measured: bool,
+    /// Tasks not yet `Done`.
+    pub live_tasks: usize,
+    /// Instant the last task finished (parallel workloads).
+    pub completed_at: Option<SimTime>,
+    /// Useful compute completed (ns) — the background progress metric.
+    pub useful_ns: u64,
+    /// Completed request latencies (µs).
+    pub latencies_us: Vec<f64>,
+    /// Completed request count.
+    pub requests: u64,
+    /// Open-loop requests dropped on a full accept queue.
+    pub dropped_requests: u64,
+    /// Lock-holder preemptions observed.
+    pub lhp: u64,
+    /// Lock-waiter preemptions observed (head spinner preempted).
+    pub lwp: u64,
+    /// The migrator-run event is already scheduled.
+    pub migrator_armed: bool,
+}
+
+impl Domain {
+    /// All of this VM's tasks have finished.
+    pub fn is_complete(&self) -> bool {
+        self.live_tasks == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irs_xen::RunState;
+
+    fn info(running_ms: u64, runnable_ms: u64) -> RunstateInfo {
+        RunstateInfo {
+            state: RunState::Running,
+            running: SimTime::from_millis(running_ms),
+            runnable: SimTime::from_millis(runnable_ms),
+            blocked: SimTime::ZERO,
+            offline: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn steal_tracker_converges_on_the_true_fraction() {
+        let mut t = StealTracker::new();
+        // Repeated 50% steal windows.
+        for i in 1..=10u64 {
+            t.update(&info(10 * i, 10 * i));
+        }
+        assert!((t.ewma - 0.5).abs() < 0.01, "got {}", t.ewma);
+    }
+
+    #[test]
+    fn steal_tracker_ignores_sub_ms_windows() {
+        let mut t = StealTracker::new();
+        t.update(&info(100, 100));
+        let before = t.ewma;
+        // A second sample only microseconds later must not perturb it.
+        let mut tiny = info(100, 100);
+        tiny.running += SimTime::from_micros(10);
+        t.update(&tiny);
+        assert_eq!(t.ewma, before);
+    }
+
+    #[test]
+    fn steal_tracker_decays_when_contention_ends() {
+        let mut t = StealTracker::new();
+        t.update(&info(10, 10)); // 50% steal
+        let peak = t.ewma;
+        t.update(&info(30, 10)); // next window: no steal
+        assert!(t.ewma < peak);
+    }
+}

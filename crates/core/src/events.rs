@@ -1,0 +1,42 @@
+//! The co-simulation's event vocabulary.
+
+/// One scheduled occurrence in the system-wide event queue.
+///
+/// Events carrying a `gen` are *generation-guarded*: the handler compares
+/// the generation against the current counter and drops stale firings (a
+/// context switch or activity change logically cancels outstanding timers
+/// without touching the queue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Event {
+    /// Hypervisor credit-burn tick (10 ms period, self-rearming).
+    HvTick,
+    /// Hypervisor accounting pass (30 ms period, self-rearming).
+    HvAccounting,
+    /// A pCPU's 30 ms slice ran out.
+    SliceExpiry { pcpu: usize, gen: u64 },
+    /// Guest scheduler tick for one vCPU (1 ms, armed only while running).
+    GuestTick { vm: usize, vcpu: usize, gen: u64 },
+    /// The current compute segment of a task completes.
+    TaskStep { vm: usize, task: usize, gen: u64 },
+    /// The guest's SA receiver/context-switcher softirq runs (scheduled
+    /// `sa_round_delay` after `VIRQ_SA_UPCALL` delivery).
+    SaProcess { vm: usize, vcpu: usize, gen: u64 },
+    /// The hypervisor's hard SA completion limit.
+    SaTimeout { vm: usize, vcpu: usize, gen: u64 },
+    /// The asynchronously woken IRS migrator thread runs.
+    MigratorRun { vm: usize },
+    /// A vCPU has been spinning continuously for the PLE window.
+    PleWindow { vm: usize, vcpu: usize, gen: u64 },
+    /// Open-loop request arrival for a server VM (self-rearming).
+    RequestArrive { vm: usize },
+    /// A sleeping task's timer fires.
+    WakeTimer { vm: usize, task: usize },
+    /// A blocking wait's grace-spin window ran out: actually sleep.
+    GraceExpire { vm: usize, task: usize, gen: u64 },
+    /// A paravirtual spin-wait exceeded its spin budget: halt until kicked.
+    PvSpinExpire { vm: usize, task: usize, gen: u64 },
+    /// Gang-slice rotation (strict co-scheduling only, self-rearming).
+    GangRotate,
+    /// Hard stop of the measurement.
+    Horizon,
+}

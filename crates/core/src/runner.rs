@@ -1,0 +1,84 @@
+//! Multi-seed experiment helpers.
+//!
+//! The paper reports the average of (at least) five runs per data point;
+//! these helpers run a scenario constructor across seeds and aggregate.
+
+use crate::results::RunResult;
+use crate::scenario::Scenario;
+use irs_metrics::Summary;
+
+/// Default repetition count, matching the paper's five-run averages.
+pub const DEFAULT_SEEDS: u64 = 5;
+
+/// Runs `make(seed)` for `seeds` consecutive seeds starting at
+/// `base_seed`, returning every result.
+pub fn run_seeds<F>(base_seed: u64, seeds: u64, make: F) -> Vec<RunResult>
+where
+    F: Fn(u64) -> Scenario,
+{
+    (0..seeds).map(|i| make(base_seed + i).run()).collect()
+}
+
+/// Mean makespan (ms) of the measured VM across seeded repetitions.
+///
+/// # Panics
+///
+/// Panics if any repetition failed to complete within the horizon.
+pub fn mean_makespan_ms<F>(base_seed: u64, seeds: u64, make: F) -> f64
+where
+    F: Fn(u64) -> Scenario,
+{
+    let samples: Vec<f64> = run_seeds(base_seed, seeds, make)
+        .iter()
+        .map(|r| r.measured().makespan_ms())
+        .collect();
+    Summary::of(&samples).mean
+}
+
+/// Mean improvement (%) of a variant over a baseline, both averaged over
+/// the same seeds — the y-axis of Figs 5, 6, 10, 11, 12, 13.
+pub fn mean_improvement_pct<B, V>(base_seed: u64, seeds: u64, baseline: B, variant: V) -> f64
+where
+    B: Fn(u64) -> Scenario,
+    V: Fn(u64) -> Scenario,
+{
+    let base = mean_makespan_ms(base_seed, seeds, baseline);
+    let var = mean_makespan_ms(base_seed, seeds, variant);
+    irs_metrics::improvement_pct(base, var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+
+    fn quick(seed: u64) -> Scenario {
+        // Tiny controlled run: EP is the cheapest preset.
+        Scenario::fig5_style("EP", 1, Strategy::Vanilla, seed)
+    }
+
+    #[test]
+    fn run_seeds_produces_one_result_per_seed() {
+        let results = run_seeds(1, 2, quick);
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert!(r.measured().makespan.is_some());
+        }
+    }
+
+    #[test]
+    fn seeded_runs_are_deterministic() {
+        let a = quick(7).run();
+        let b = quick(7).run();
+        assert_eq!(a.measured().makespan, b.measured().makespan);
+        assert_eq!(a.hv.preemptions, b.hv.preemptions);
+    }
+
+    #[test]
+    fn different_seeds_differ_slightly() {
+        let a = quick(1).run();
+        let b = quick(2).run();
+        // Jittered compute makes exact ties essentially impossible.
+        assert_ne!(a.measured().makespan, b.measured().makespan);
+    }
+}

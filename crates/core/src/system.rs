@@ -1,0 +1,888 @@
+//! The co-simulation: one event loop driving the hypervisor, every guest
+//! kernel, and every workload program on a shared virtual timeline.
+//!
+//! Division of labour:
+//!
+//! * `irs-xen` and `irs-guest` own their *state machines* and return
+//!   actions; this module owns *time* — it arms and validates every timer
+//!   (slices, ticks, compute segments, SA rounds, PLE windows, arrivals)
+//!   using generation counters for O(1) logical cancellation.
+//! * Task execution lives in [`crate::exec`]: a task makes progress exactly
+//!   while it is guest-current on a vCPU that the hypervisor is actually
+//!   running. Everything the paper calls a semantic gap falls out of that
+//!   one rule — a preempted vCPU freezes its current task while the guest
+//!   still believes it is `Running`.
+
+use crate::domain::{Domain, StealTracker, TaskRt};
+use crate::events::Event;
+use crate::results::{RunResult, VmResult};
+use crate::scenario::Scenario;
+use crate::strategy::Strategy;
+use irs_guest::{GuestAction, GuestConfig, GuestOs, VcpuView};
+use irs_sim::{EventQueue, SimRng, SimTime};
+use irs_sync::OfferOutcome;
+use irs_workloads::{ProgramRunner, WorkloadKind};
+use irs_xen::{HvAction, Hypervisor, PcpuId, RunState, SchedOp, VcpuRef, Virq, VmSpec};
+
+/// Modelling knobs that are not part of any scheduler's configuration.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Base cache warm-up penalty a task pays after a cross-vCPU
+    /// migration, scaled by the workload's memory intensity.
+    pub cache_penalty: SimTime,
+    /// Safety valve on total events processed (a run that trips it is a
+    /// bug, not a result).
+    pub max_events: u64,
+    /// Futex grace: how long a blocking wait spins before actually
+    /// sleeping (glibc adaptive-mutex / futex fast-path behaviour). This
+    /// is the brief spinning on blocking primitives that PLE reacts to.
+    pub futex_grace: SimTime,
+    /// Capacity of the in-memory scheduling trace (0 disables tracing).
+    /// When enabled, every hypervisor and guest action is recorded with
+    /// its virtual timestamp; dump via [`System::trace`].
+    pub trace_capacity: usize,
+    /// Paravirtual spin-then-halt: an ungranted spin wait longer than this
+    /// halts until the owner's release kicks it (pv-spinlock semantics,
+    /// paper §5.1). `None` spins forever, as user-level
+    /// `OMP_WAIT_POLICY=active` waiters do.
+    pub pv_spin: Option<SimTime>,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            cache_penalty: SimTime::from_micros(200),
+            max_events: 200_000_000,
+            futex_grace: SimTime::from_micros(30),
+            trace_capacity: 0,
+            pv_spin: None,
+        }
+    }
+}
+
+/// The assembled co-simulation. Construct from a [`Scenario`], then
+/// [`System::run`].
+#[derive(Debug)]
+pub struct System {
+    pub(crate) cfg: SystemConfig,
+    pub(crate) strategy: Strategy,
+    pub(crate) now: SimTime,
+    pub(crate) queue: EventQueue<Event>,
+    pub(crate) hv: Hypervisor,
+    pub(crate) domains: Vec<Domain>,
+    pub(crate) rng: SimRng,
+    pub(crate) horizon: SimTime,
+    armed_slice_gen: Vec<Option<u64>>,
+    stopped: bool,
+    events_processed: u64,
+    trace: irs_sim::trace::TraceRing,
+}
+
+impl System {
+    /// Builds the full system from a scenario description.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed scenarios (no VMs, thread/vCPU mismatches,
+    /// pinning out of range).
+    pub fn new(scenario: Scenario) -> Self {
+        Self::with_config(scenario, SystemConfig::default())
+    }
+
+    /// Builds with explicit modelling knobs.
+    pub fn with_config(scenario: Scenario, cfg: SystemConfig) -> Self {
+        assert!(!scenario.vms.is_empty(), "a scenario needs at least one VM");
+        let strategy = scenario.strategy;
+        let any_unpinned = scenario.vms.iter().any(|v| v.pinning.is_none());
+        let mut xen_cfg = strategy.xen_config();
+        if let Some(slice) = scenario.slice_override {
+            xen_cfg.time_slice = slice;
+        }
+        xen_cfg.migration = any_unpinned;
+        if any_unpinned {
+            xen_cfg.placement_salt = Some(scenario.seed);
+        }
+        let mut hv = Hypervisor::new(xen_cfg, scenario.n_pcpus);
+
+        let mut domains = Vec::new();
+        for vm in scenario.vms {
+            let sa_guest = vm
+                .irs_guest
+                .unwrap_or(vm.measured && strategy.sa_capable_guest());
+            let mut spec = VmSpec::new(vm.n_vcpus)
+                .weight(vm.weight)
+                .sa_capable(sa_guest);
+            if let Some(p) = vm.pinning {
+                spec = spec.pin(p);
+            }
+            hv.create_vm(spec);
+
+            let mut guest_cfg = if sa_guest {
+                strategy.guest_config()
+            } else {
+                GuestConfig::default()
+            };
+            if sa_guest {
+                if let Some(sa) = vm.sa_override {
+                    guest_cfg.sa = Some(sa);
+                }
+            }
+            let mut os = GuestOs::new(guest_cfg, vm.n_vcpus);
+            let bundle = vm.bundle;
+            let tasks: Vec<TaskRt> = bundle
+                .threads
+                .iter()
+                .enumerate()
+                .map(|(i, prog)| {
+                    os.spawn(i % vm.n_vcpus);
+                    TaskRt {
+                        runner: ProgramRunner::new(prog.clone()),
+                        activity: crate::domain::Activity::Resume,
+                        step_gen: 0,
+                        penalty_ns: 0,
+                        wait_gen: 0,
+                        req_open: None,
+                    }
+                })
+                .collect();
+            let live_tasks = tasks.len();
+            domains.push(Domain {
+                name: bundle.name.clone(),
+                os,
+                space: bundle.space,
+                tasks,
+                kind: bundle.kind,
+                memory_intensity: bundle.memory_intensity,
+                open_loop: bundle.open_loop,
+                arrivals: std::collections::VecDeque::new(),
+                exec: vec![None; vm.n_vcpus],
+                tick_gen: vec![0; vm.n_vcpus],
+                last_tick: vec![SimTime::ZERO; vm.n_vcpus],
+                ple_gen: vec![0; vm.n_vcpus],
+                steal: vec![StealTracker::new(); vm.n_vcpus],
+                measured: vm.measured,
+                live_tasks,
+                completed_at: None,
+                useful_ns: 0,
+                latencies_us: Vec::new(),
+                requests: 0,
+                dropped_requests: 0,
+                lhp: 0,
+                lwp: 0,
+                migrator_armed: false,
+            });
+        }
+
+        let n_pcpus = hv.n_pcpus();
+        let trace = if cfg.trace_capacity > 0 {
+            irs_sim::trace::TraceRing::enabled(cfg.trace_capacity)
+        } else {
+            irs_sim::trace::TraceRing::disabled()
+        };
+        let mut sys = System {
+            cfg,
+            strategy,
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            hv,
+            domains,
+            rng: SimRng::seed_from(scenario.seed),
+            horizon: scenario.horizon,
+            armed_slice_gen: vec![None; n_pcpus],
+            stopped: false,
+            events_processed: 0,
+            trace,
+        };
+        sys.boot();
+        sys
+    }
+
+    /// Boots every guest, starts the hypervisor, and arms periodic timers.
+    fn boot(&mut self) {
+        // Guests pick initial currents; vCPUs with empty runqueues are
+        // registered as blocked before the hypervisor's first dispatch.
+        for vm in 0..self.domains.len() {
+            let acts = self.domains[vm].os.start(SimTime::ZERO);
+            for act in acts {
+                match act {
+                    GuestAction::Hypercall {
+                        vcpu,
+                        op: SchedOp::Block,
+                    } => {
+                        self.hv
+                            .block_before_start(VcpuRef::new(irs_xen::VmId(vm), vcpu));
+                    }
+                    GuestAction::RunTask { .. } => {
+                        // Execution starts when the hypervisor dispatches
+                        // the vCPU (VcpuStarted).
+                    }
+                    other => panic!("unexpected boot action {other}"),
+                }
+            }
+        }
+        let acts = self.hv.start(SimTime::ZERO);
+        self.apply_hv_actions(acts);
+
+        let tick = self.hv.config().tick_period;
+        let acct = self.hv.config().accounting_period;
+        self.queue.schedule(tick, Event::HvTick);
+        self.queue.schedule(acct, Event::HvAccounting);
+        self.queue.schedule(self.horizon, Event::Horizon);
+        if self.hv.is_gang_mode() {
+            // Open the first gang slot immediately.
+            let acts = self.hv.gang_rotate(SimTime::ZERO);
+            self.apply_hv_actions(acts);
+            let slice = self.hv.config().time_slice;
+            self.queue.schedule(slice, Event::GangRotate);
+        }
+        for vm in 0..self.domains.len() {
+            if let Some(ol) = self.domains[vm].open_loop {
+                let first =
+                    SimTime::from_nanos(self.rng.exponential(ol.mean_interarrival.as_nanos() as f64) as u64);
+                self.queue.schedule(first, Event::RequestArrive { vm });
+            }
+        }
+        self.refresh_slice_timers();
+    }
+
+    /// Runs until the measured workloads complete or the horizon fires.
+    pub fn run(mut self) -> RunResult {
+        while !self.stopped {
+            if !self.step() {
+                break;
+            }
+            if self.measurement_done() {
+                break;
+            }
+        }
+        self.into_result()
+    }
+
+    /// Processes one event. Returns `false` when the queue is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event-count safety valve trips (a runaway loop).
+    pub fn step(&mut self) -> bool {
+        let Some((t, ev)) = self.queue.pop() else {
+            return false;
+        };
+        self.events_processed += 1;
+        assert!(
+            self.events_processed <= self.cfg.max_events,
+            "event safety valve tripped at {} events (now {})",
+            self.events_processed,
+            self.now
+        );
+        debug_assert!(t >= self.now, "time went backwards");
+        self.now = t;
+        self.dispatch(ev);
+        // Strict co-scheduling: rotate early rather than idle the machine
+        // when the gang VM went fully idle and another VM has work.
+        if self.hv.is_gang_mode() && self.hv.gang_vm_fully_idle() {
+            let other_wants = (0..self.domains.len())
+                .any(|vm| self.hv.vm_wants_cpu(irs_xen::VmId(vm)));
+            if other_wants {
+                let acts = self.hv.gang_rotate(self.now);
+                self.apply_hv_actions(acts);
+            }
+        }
+        self.refresh_slice_timers();
+        true
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The scheduling trace captured so far (empty unless
+    /// [`SystemConfig::trace_capacity`] was set).
+    pub fn trace(&self) -> &irs_sim::trace::TraceRing {
+        &self.trace
+    }
+
+    /// Read access to the hypervisor (diagnostics, tests, probes).
+    pub fn hypervisor(&self) -> &Hypervisor {
+        &self.hv
+    }
+
+    /// Read access to a VM's guest kernel (diagnostics, tests, probes).
+    pub fn guest(&self, vm: usize) -> &irs_guest::GuestOs {
+        &self.domains[vm].os
+    }
+
+    /// Renders a one-line-per-entity snapshot of a VM: every vCPU's
+    /// hypervisor runstate, guest-current task and queue, then every
+    /// task's state, vruntime, and workload activity. Companion to
+    /// [`irs_xen::Hypervisor::debug_pcpu`] for stuck-run diagnosis.
+    pub fn debug_vm(&self, vm: usize) -> String {
+        use std::fmt::Write as _;
+        let d = &self.domains[vm];
+        let mut out = String::new();
+        for vcpu in 0..d.os.n_vcpus() {
+            let v = VcpuRef::new(irs_xen::VmId(vm), vcpu);
+            let rq = d.os.rq(vcpu);
+            let queued: Vec<String> = rq.iter().map(|(vr, id)| format!("{id}@{vr}")).collect();
+            let _ = writeln!(
+                out,
+                "v{vcpu}: {:?} cur={:?} min_vr={} q=[{}]",
+                self.hv.vcpu_state(v),
+                d.os.current(vcpu).map(|t| t.to_string()),
+                rq.min_vruntime,
+                queued.join(", "),
+            );
+        }
+        for (i, t) in d.tasks.iter().enumerate() {
+            let task = d.os.task(irs_guest::TaskId(i));
+            let exec = d.exec[task.cpu]
+                .filter(|c| c.task == i)
+                .map(|c| format!("exec(since={})", c.since));
+            let _ = writeln!(
+                out,
+                "T{i}: {:?} cpu=v{} vr={} custody={} gen={} {:?} {}",
+                task.state,
+                task.cpu,
+                task.vruntime,
+                task.in_custody,
+                t.step_gen,
+                t.activity,
+                exec.as_deref().unwrap_or("no-exec"),
+            );
+        }
+        out
+    }
+
+    /// Verifies cross-layer consistency (between events): hypervisor and
+    /// guest invariants hold, and execution contexts exist exactly where a
+    /// guest-current task sits on a hypervisor-running vCPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message on violation.
+    pub fn check_invariants(&self) {
+        self.hv.check_invariants();
+        for (vm, d) in self.domains.iter().enumerate() {
+            d.os.check_invariants();
+            for vcpu in 0..d.os.n_vcpus() {
+                let v = VcpuRef::new(irs_xen::VmId(vm), vcpu);
+                let running = self.hv.vcpu_state(v) == RunState::Running;
+                let current = d.os.current(vcpu);
+                match d.exec[vcpu] {
+                    Some(ctx) => {
+                        assert!(running, "vm{vm} v{vcpu} has exec ctx but is not running");
+                        assert_eq!(
+                            current,
+                            Some(irs_guest::TaskId(ctx.task)),
+                            "vm{vm} v{vcpu} exec ctx does not match guest current"
+                        );
+                    }
+                    None => {
+                        assert!(
+                            !(running && current.is_some()),
+                            "vm{vm} v{vcpu} running with a current task but no exec ctx"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Requests migration of `task` in `vm` to vCPU `dest` through the
+    /// vanilla stopper path (`sched_setaffinity` semantics) — the operation
+    /// Fig 1(b) measures. A running task's migration completes only when
+    /// its source vCPU next executes a tick; poll
+    /// [`System::guest`]`.task(..).cpu` to observe completion.
+    pub fn migrate_task(&mut self, vm: usize, task: irs_guest::TaskId, dest: usize) {
+        let acts = self.domains[vm].os.request_stop_migration(task, dest);
+        self.apply_guest_actions(vm, acts);
+    }
+
+    /// True once every measured parallel workload has completed (server
+    /// and interference workloads only end at the horizon).
+    fn measurement_done(&self) -> bool {
+        let mut any = false;
+        for d in &self.domains {
+            if d.measured && d.kind == WorkloadKind::Parallel {
+                any = true;
+                if !d.is_complete() {
+                    return false;
+                }
+            }
+        }
+        any
+    }
+
+    // ==================================================================
+    // event dispatch
+    // ==================================================================
+
+    fn dispatch(&mut self, ev: Event) {
+        match ev {
+            Event::HvTick => {
+                let acts = self.hv.tick(self.now);
+                self.apply_hv_actions(acts);
+                let next = self.now + self.hv.config().tick_period;
+                self.queue.schedule(next, Event::HvTick);
+            }
+            Event::HvAccounting => {
+                let acts = self.hv.accounting(self.now);
+                self.apply_hv_actions(acts);
+                let next = self.now + self.hv.config().accounting_period;
+                self.queue.schedule(next, Event::HvAccounting);
+            }
+            Event::SliceExpiry { pcpu, gen } => {
+                let acts = self.hv.slice_expired(PcpuId(pcpu), gen, self.now);
+                self.apply_hv_actions(acts);
+            }
+            Event::GuestTick { vm, vcpu, gen } => self.on_guest_tick(vm, vcpu, gen),
+            Event::TaskStep { vm, task, gen } => self.on_task_step(vm, task, gen),
+            Event::SaProcess { vm, vcpu, gen } => self.on_sa_process(vm, vcpu, gen),
+            Event::SaTimeout { vm, vcpu, gen } => {
+                let v = VcpuRef::new(irs_xen::VmId(vm), vcpu);
+                let acts = self.hv.sa_timeout(v, gen, self.now);
+                self.apply_hv_actions(acts);
+            }
+            Event::MigratorRun { vm } => self.on_migrator_run(vm),
+            Event::PleWindow { vm, vcpu, gen } => self.on_ple_window(vm, vcpu, gen),
+            Event::RequestArrive { vm } => self.on_request_arrive(vm),
+            Event::WakeTimer { vm, task } => self.on_wake_timer(vm, task),
+            Event::GraceExpire { vm, task, gen } => self.on_grace_expire(vm, task, gen),
+            Event::PvSpinExpire { vm, task, gen } => self.on_pv_spin_expire(vm, task, gen),
+            Event::GangRotate => {
+                let acts = self.hv.gang_rotate(self.now);
+                self.apply_hv_actions(acts);
+                let next = self.now + self.hv.config().time_slice;
+                self.queue.schedule(next, Event::GangRotate);
+            }
+            Event::Horizon => self.stopped = true,
+        }
+    }
+
+    fn on_guest_tick(&mut self, vm: usize, vcpu: usize, gen: u64) {
+        if self.domains[vm].tick_gen[vcpu] != gen {
+            return; // the vCPU stopped running since this was armed
+        }
+        self.domains[vm].last_tick[vcpu] = self.now;
+        self.sync_exec(vm, vcpu);
+        let views = self.views(vm);
+        let outcome = self.domains[vm].os.tick(vcpu, self.now, &views);
+        self.apply_guest_actions(vm, outcome.actions);
+        if let Some(op) = outcome.sa_ack {
+            // A pending SA upcall was processed at the tick (after the
+            // timer work, per §4.2): forward the acknowledgement.
+            let now = self.now;
+            self.trace
+                .record(now, "guest", || format!("vm{vm}: v{vcpu} {op} (SA ack @tick)"));
+            let v = VcpuRef::new(irs_xen::VmId(vm), vcpu);
+            let acts = self.hv.sched_op(v, op, self.now);
+            self.apply_hv_actions(acts);
+        }
+        let period = self.domains[vm].os.config().tick_period;
+        self.queue
+            .schedule(self.now + period, Event::GuestTick { vm, vcpu, gen });
+    }
+
+    fn on_task_step(&mut self, vm: usize, task: usize, gen: u64) {
+        if self.domains[vm].tasks[task].step_gen != gen {
+            return; // superseded by a context switch
+        }
+        let vcpu = self.domains[vm].os.task(irs_guest::TaskId(task)).cpu;
+        debug_assert_eq!(
+            self.domains[vm].os.current(vcpu),
+            Some(irs_guest::TaskId(task)),
+            "TaskStep for non-current task{task} (vm{vm} v{vcpu}, activity {:?}, state {:?}, exec {:?})",
+            self.domains[vm].tasks[task].activity,
+            self.domains[vm].os.task(irs_guest::TaskId(task)).state,
+            self.domains[vm].exec[vcpu],
+        );
+        self.sync_exec(vm, vcpu);
+        let d = &mut self.domains[vm];
+        if let crate::domain::Activity::Computing { remaining, useful } = d.tasks[task].activity {
+            debug_assert_eq!(remaining, 0, "segment completed with time left");
+            d.useful_ns += useful;
+        }
+        d.tasks[task].activity = crate::domain::Activity::Resume;
+        self.advance_task(vm, task);
+    }
+
+    fn on_sa_process(&mut self, vm: usize, vcpu: usize, gen: u64) {
+        let v = VcpuRef::new(irs_xen::VmId(vm), vcpu);
+        if !self.hv.is_sa_pending(v) || self.hv.sa_generation(v) != gen {
+            return; // the guest already answered (e.g. it blocked anyway)
+        }
+        // The preemptee kept running during the receiver/softirq delay;
+        // charge that time before switching.
+        self.sync_exec(vm, vcpu);
+        let views = self.views(vm);
+        let outcome = self.domains[vm].os.process_softirqs(vcpu, self.now, &views);
+        self.apply_guest_actions(vm, outcome.actions);
+        if let Some(op) = outcome.sa_ack {
+            let now = self.now;
+            self.trace
+                .record(now, "guest", || format!("vm{vm}: v{vcpu} {op} (SA ack)"));
+            let acts = self.hv.sched_op(v, op, self.now);
+            self.apply_hv_actions(acts);
+        }
+    }
+
+    fn on_migrator_run(&mut self, vm: usize) {
+        self.domains[vm].migrator_armed = false;
+        let views = self.views(vm);
+        let acts = self.domains[vm].os.migrator_run(&views);
+        self.apply_guest_actions(vm, acts);
+    }
+
+    fn on_ple_window(&mut self, vm: usize, vcpu: usize, gen: u64) {
+        if self.domains[vm].ple_gen[vcpu] != gen {
+            return;
+        }
+        let v = VcpuRef::new(irs_xen::VmId(vm), vcpu);
+        // Still an ungranted spinner actually executing?
+        let spinning = self.domains[vm]
+            .os
+            .current(vcpu)
+            .is_some_and(|t| {
+                matches!(
+                    self.domains[vm].tasks[t.0].activity,
+                    crate::domain::Activity::SpinWait { granted: false }
+                        | crate::domain::Activity::GraceSpin { granted: false }
+                )
+            });
+        if !spinning || self.hv.vcpu_state(v) != RunState::Running {
+            return;
+        }
+        let acts = self.hv.ple_exit(v, self.now);
+        self.apply_hv_actions(acts);
+    }
+
+    fn on_request_arrive(&mut self, vm: usize) {
+        let Some(ol) = self.domains[vm].open_loop else {
+            return;
+        };
+        match self.domains[vm].space.channel(ol.channel).offer() {
+            OfferOutcome::Accepted {
+                wake_consumer: Some(w),
+            } => {
+                let d = &mut self.domains[vm];
+                d.tasks[w.0].req_open = Some(self.now);
+                d.tasks[w.0].activity = crate::domain::Activity::Resume;
+                self.wake_task(vm, w.0);
+            }
+            OfferOutcome::Accepted {
+                wake_consumer: None,
+            } => {
+                self.domains[vm].arrivals.push_back(self.now);
+            }
+            OfferOutcome::Full => {
+                self.domains[vm].dropped_requests += 1;
+            }
+        }
+        let gap = self.rng.exponential(ol.mean_interarrival.as_nanos() as f64);
+        self.queue.schedule(
+            self.now + SimTime::from_nanos(gap.max(1.0) as u64),
+            Event::RequestArrive { vm },
+        );
+    }
+
+    fn on_wake_timer(&mut self, vm: usize, task: usize) {
+        if self.domains[vm].tasks[task].activity != crate::domain::Activity::Sleeping {
+            return;
+        }
+        self.domains[vm].tasks[task].activity = crate::domain::Activity::Resume;
+        self.wake_task(vm, task);
+    }
+
+    // ==================================================================
+    // action interpreters
+    // ==================================================================
+
+    pub(crate) fn apply_hv_actions(&mut self, acts: Vec<HvAction>) {
+        for act in acts {
+            let now = self.now;
+            self.trace.record(now, "xen", || act.to_string());
+            match act {
+                // Stale-action guards: applying an action can re-enter the
+                // hypervisor (a freshly started vCPU with nothing to run
+                // blocks immediately, and that nested schedule may stop,
+                // steal, or re-dispatch vCPUs named by actions still queued
+                // in this batch). An action is applied only if it still
+                // describes the hypervisor's present state; a superseded
+                // one was already replaced by the nested call's own actions.
+                HvAction::VcpuStarted { vcpu, pcpu } => {
+                    if self.hv.vcpu_state(vcpu) == RunState::Running
+                        && self.hv.pcpu_current(pcpu) == Some(vcpu)
+                    {
+                        self.on_vcpu_started(vcpu);
+                    }
+                }
+                HvAction::VcpuStopped { vcpu, state } => {
+                    if self.hv.vcpu_state(vcpu) != RunState::Running {
+                        self.on_vcpu_stopped(vcpu, state);
+                    }
+                }
+                HvAction::DeliverVirq {
+                    vcpu,
+                    virq: Virq::SaUpcall,
+                    deadline,
+                } => {
+                    let vm = vcpu.vm.0;
+                    // Receiver top half: mark the upcall softirq pending; the
+                    // bottom half (context switcher) runs after the softirq
+                    // delay — or at an intervening tick, after timer work.
+                    self.domains[vm]
+                        .os
+                        .raise_softirq(vcpu.idx, irs_guest::Softirq::Upcall);
+                    let gen = self.hv.sa_generation(vcpu);
+                    let delay = self.domains[vm]
+                        .os
+                        .config()
+                        .sa
+                        .as_ref()
+                        .map(|sa| sa.sa_round_delay())
+                        .unwrap_or(SimTime::from_micros(25));
+                    self.queue.schedule(
+                        self.now + delay,
+                        Event::SaProcess {
+                            vm,
+                            vcpu: vcpu.idx,
+                            gen,
+                        },
+                    );
+                    if let Some(dl) = deadline {
+                        self.queue.schedule(
+                            dl,
+                            Event::SaTimeout {
+                                vm,
+                                vcpu: vcpu.idx,
+                                gen,
+                            },
+                        );
+                    }
+                }
+                HvAction::DeliverVirq { .. } | HvAction::PcpuIdle { .. } => {}
+            }
+        }
+    }
+
+    fn on_vcpu_started(&mut self, v: VcpuRef) {
+        let vm = v.vm.0;
+        let vcpu = v.idx;
+        // Arm the guest tick chain for this dispatch. An overdue timer
+        // fires immediately (pending-IRQ catch-up): a vCPU that only gets
+        // sub-tick execution windows (e.g. under PLE yield storms) must
+        // still run its scheduler tick, or queued tasks starve.
+        self.domains[vm].tick_gen[vcpu] += 1;
+        let gen = self.domains[vm].tick_gen[vcpu];
+        let period = self.domains[vm].os.config().tick_period;
+        let due = (self.domains[vm].last_tick[vcpu] + period).max(self.now);
+        self.queue
+            .schedule(due, Event::GuestTick { vm, vcpu, gen });
+
+        let acts = self.domains[vm].os.ensure_current(vcpu);
+        self.apply_guest_actions(vm, acts);
+        if self.domains[vm].os.current(vcpu).is_none() {
+            // Nothing local: idle balancing may pull from a busy sibling
+            // (the receiving end of the guest's nohz kick).
+            let views = self.views(vm);
+            let acts = self.domains[vm].os.idle_balance(vcpu, &views);
+            self.apply_guest_actions(vm, acts);
+        }
+        if self.domains[vm].os.current(vcpu).is_some() {
+            self.begin_exec(vm, vcpu);
+        } else {
+            // Nothing to run anywhere: the guest idle loop blocks.
+            let acts = self.hv.sched_op(v, SchedOp::Block, self.now);
+            self.apply_hv_actions(acts);
+        }
+    }
+
+    fn on_vcpu_stopped(&mut self, v: VcpuRef, state: RunState) {
+        let vm = v.vm.0;
+        let vcpu = v.idx;
+        self.end_exec(vm, vcpu);
+        self.domains[vm].tick_gen[vcpu] += 1;
+        self.domains[vm].ple_gen[vcpu] += 1;
+        if state == RunState::Runnable {
+            self.record_lhp_lwp(vm, vcpu);
+        }
+    }
+
+    /// An involuntary preemption landed on `vcpu`: classify it as LHP/LWP
+    /// by inspecting what its current task holds or heads.
+    fn record_lhp_lwp(&mut self, vm: usize, vcpu: usize) {
+        let Some(cur) = self.domains[vm].os.current(vcpu) else {
+            return;
+        };
+        let d = &mut self.domains[vm];
+        let n_locks = d.space.n_locks();
+        for i in 0..n_locks {
+            let lock = d.space.lock_ref(irs_sync::LockId(i));
+            if lock.holder() == Some(cur) {
+                d.lhp += 1;
+                return;
+            }
+            if lock.head_waiter() == Some(cur) {
+                d.lwp += 1;
+                return;
+            }
+        }
+    }
+
+    pub(crate) fn apply_guest_actions(&mut self, vm: usize, acts: Vec<GuestAction>) {
+        for act in acts {
+            let now = self.now;
+            self.trace.record(now, "guest", || format!("vm{vm}: {act}"));
+            match act {
+                GuestAction::RunTask { vcpu, .. } => {
+                    let v = VcpuRef::new(irs_xen::VmId(vm), vcpu);
+                    if self.hv.vcpu_state(v) == RunState::Running {
+                        self.begin_exec(vm, vcpu);
+                    }
+                }
+                GuestAction::StopTask { vcpu, .. } => {
+                    self.end_exec(vm, vcpu);
+                }
+                GuestAction::Hypercall { vcpu, op } => {
+                    let v = VcpuRef::new(irs_xen::VmId(vm), vcpu);
+                    if op == SchedOp::Block
+                        && self.strategy.pull_oracle()
+                        && self.try_pull_oracle(vm, vcpu)
+                    {
+                        continue; // pulled work instead of idling
+                    }
+                    let acts2 = self.hv.sched_op(v, op, self.now);
+                    self.apply_hv_actions(acts2);
+                }
+                GuestAction::WakeVcpu { vcpu } => {
+                    let v = VcpuRef::new(irs_xen::VmId(vm), vcpu);
+                    let acts2 = self.hv.vcpu_wake(v, self.now);
+                    self.apply_hv_actions(acts2);
+                }
+                GuestAction::WakeMigrator => {
+                    if !self.domains[vm].migrator_armed {
+                        self.domains[vm].migrator_armed = true;
+                        let delay = self.domains[vm]
+                            .os
+                            .config()
+                            .sa
+                            .as_ref()
+                            .map(|sa| sa.migrator_delay)
+                            .unwrap_or(SimTime::from_micros(5));
+                        self.queue
+                            .schedule(self.now + delay, Event::MigratorRun { vm });
+                    }
+                }
+                GuestAction::TaskMigrated { task, .. } => {
+                    let penalty = self
+                        .cfg
+                        .cache_penalty
+                        .scaled_f64(self.domains[vm].memory_intensity)
+                        .as_nanos();
+                    let d = &mut self.domains[vm];
+                    match &mut d.tasks[task.0].activity {
+                        crate::domain::Activity::Computing { remaining, .. } => {
+                            // Mid-segment and queued: lengthen the segment.
+                            *remaining += penalty;
+                        }
+                        _ => d.tasks[task.0].penalty_ns += penalty,
+                    }
+                }
+            }
+        }
+    }
+
+    /// The §6 pull oracle: an idling vCPU yanks a stranded "running" task
+    /// off a hypervisor-preempted sibling. Returns whether work was pulled.
+    fn try_pull_oracle(&mut self, vm: usize, vcpu: usize) -> bool {
+        let n = self.domains[vm].os.n_vcpus();
+        for sib in 0..n {
+            if sib == vcpu {
+                continue;
+            }
+            let v = VcpuRef::new(irs_xen::VmId(vm), sib);
+            if self.hv.vcpu_state(v) == RunState::Runnable
+                && self.domains[vm].os.current(sib).is_some()
+            {
+                let acts = self.domains[vm].os.pull_running(vcpu, sib);
+                self.apply_guest_actions(vm, acts);
+                return true;
+            }
+        }
+        false
+    }
+
+    // ==================================================================
+    // timers and views
+    // ==================================================================
+
+    /// (Re)arms slice-expiry timers for pCPUs whose dispatch changed.
+    fn refresh_slice_timers(&mut self) {
+        for p in 0..self.hv.n_pcpus() {
+            match self.hv.dispatch_info(PcpuId(p)) {
+                Some(info) => {
+                    if self.armed_slice_gen[p] != Some(info.generation) {
+                        self.armed_slice_gen[p] = Some(info.generation);
+                        self.queue.schedule(
+                            info.since + info.slice,
+                            Event::SliceExpiry {
+                                pcpu: p,
+                                gen: info.generation,
+                            },
+                        );
+                    }
+                }
+                None => self.armed_slice_gen[p] = None,
+            }
+        }
+    }
+
+    /// Builds the guest-visible per-vCPU views (runstate + steal EWMA).
+    pub(crate) fn views(&mut self, vm: usize) -> Vec<VcpuView> {
+        let n = self.domains[vm].os.n_vcpus();
+        (0..n)
+            .map(|i| {
+                let v = VcpuRef::new(irs_xen::VmId(vm), i);
+                let info = self.hv.runstate(v, self.now);
+                let frac = self.domains[vm].steal[i].update(&info);
+                VcpuView {
+                    state: info.state,
+                    steal_frac: frac,
+                }
+            })
+            .collect()
+    }
+
+    // ==================================================================
+    // results
+    // ==================================================================
+
+    fn into_result(self) -> RunResult {
+        let elapsed = self.now;
+        let hv = self.hv.stats().clone();
+        let vms = self
+            .domains
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| {
+                let vm_id = irs_xen::VmId(i);
+                VmResult {
+                    name: d.name,
+                    kind: d.kind,
+                    measured: d.measured,
+                    makespan: d.completed_at,
+                    useful: SimTime::from_nanos(d.useful_ns),
+                    cpu_time: self.hv.vm_cpu_time(vm_id, elapsed),
+                    steal_time: self.hv.vm_steal_time(vm_id, elapsed),
+                    requests: d.requests,
+                    dropped_requests: d.dropped_requests,
+                    latencies_us: d.latencies_us,
+                    guest: d.os.stats().clone(),
+                    lhp: d.lhp,
+                    lwp: d.lwp,
+                }
+            })
+            .collect();
+        RunResult { elapsed, vms, hv }
+    }
+}

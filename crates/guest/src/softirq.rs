@@ -1,0 +1,59 @@
+//! The guest's softirq layer (§4.2).
+//!
+//! IRS implements its context switcher as the bottom half of the new
+//! `VIRQ_SA_UPCALL` interrupt, as a softirq (`UPCALL_SOFTIRQ`) deliberately
+//! prioritized **below** `TIMER_SOFTIRQ`: when a timer interrupt and an SA
+//! arrive together, the timer's task switching must run first, so a task
+//! that was about to be descheduled anyway is not pointlessly migrated.
+//! This module makes that ordering structural: [`Softirq`] handlers run in
+//! priority order inside `GuestOs::process_softirqs`.
+
+use crate::actions::GuestAction;
+use irs_xen::SchedOp;
+
+/// Softirq lines, in priority order (lower = runs first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Softirq {
+    /// `TIMER_SOFTIRQ` — the scheduler tick bottom half.
+    Timer,
+    /// `UPCALL_SOFTIRQ` — the IRS context switcher (lower priority,
+    /// paper §4.2).
+    Upcall,
+}
+
+impl Softirq {
+    pub(crate) const fn bit(self) -> u8 {
+        match self {
+            Softirq::Timer => 0b01,
+            Softirq::Upcall => 0b10,
+        }
+    }
+}
+
+/// Result of one softirq processing pass on a vCPU.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SoftirqOutcome {
+    /// Context-switch notifications, balancing moves, wake requests.
+    pub actions: Vec<GuestAction>,
+    /// If the upcall softirq ran, the acknowledgement to send to the
+    /// hypervisor via `HYPERVISOR_sched_op` (completing the SA round).
+    pub sa_ack: Option<SchedOp>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_bits_are_distinct() {
+        assert_ne!(Softirq::Timer.bit(), Softirq::Upcall.bit());
+        assert_eq!(Softirq::Timer.bit() | Softirq::Upcall.bit(), 0b11);
+    }
+
+    #[test]
+    fn default_outcome_is_empty() {
+        let o = SoftirqOutcome::default();
+        assert!(o.actions.is_empty());
+        assert!(o.sa_ack.is_none());
+    }
+}

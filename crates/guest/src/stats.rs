@@ -1,0 +1,40 @@
+//! Guest scheduler counters.
+
+/// Counters of guest scheduling and load-balancing activity.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GuestStats {
+    /// Task context switches (a new current was installed on some vCPU).
+    pub context_switches: u64,
+    /// Wake-ups processed.
+    pub wakeups: u64,
+    /// Migrations by the periodic (push) balancer.
+    pub push_migrations: u64,
+    /// Migrations by idle (pull) balancing.
+    pub pull_migrations: u64,
+    /// Wake-up placements away from the task's previous vCPU.
+    pub wake_migrations: u64,
+    /// Migrations performed by the IRS migrator (Algorithm 2).
+    pub sa_migrations: u64,
+    /// IRS migrator targets that were idle vCPUs (Algorithm 2 fast path).
+    pub sa_idle_targets: u64,
+    /// SA upcalls handled by the receiver.
+    pub sa_upcalls: u64,
+    /// Wakers that preempted a tagged task in place (Fig 4 pingpong fix).
+    pub pingpong_preempts: u64,
+    /// Migrations executed by the stopper (vanilla running-task migration).
+    pub stopper_migrations: u64,
+    /// Times a vCPU went idle and blocked in the hypervisor.
+    pub idle_blocks: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_all_zero() {
+        let s = GuestStats::default();
+        assert_eq!(s, GuestStats::default());
+        assert_eq!(s.sa_migrations, 0);
+    }
+}

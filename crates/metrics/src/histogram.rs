@@ -1,0 +1,234 @@
+//! A log-bucketed latency histogram.
+//!
+//! Request latencies in the server experiments span four orders of
+//! magnitude (µs service times to multi-slice stall tails); a
+//! logarithmically bucketed histogram summarizes them compactly and makes
+//! percentile queries cheap without storing every sample.
+
+/// A histogram with logarithmic buckets (fixed 2× growth from `min_bucket`).
+///
+/// # Example
+///
+/// ```
+/// use irs_metrics::Histogram;
+///
+/// let mut h = Histogram::new(1.0, 24);
+/// for v in [2.0, 3.0, 5.0, 100.0] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert!(h.quantile(0.5) >= 2.0 && h.quantile(0.5) <= 8.0);
+/// assert!(h.quantile(1.0) >= 64.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    min_bucket: f64,
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+    max: f64,
+    min: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram whose first bucket ends at `min_bucket` and with
+    /// `n_buckets` buckets doubling from there (values beyond the last
+    /// bucket clamp into it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_bucket <= 0` or `n_buckets == 0`.
+    pub fn new(min_bucket: f64, n_buckets: usize) -> Self {
+        assert!(min_bucket > 0.0, "min_bucket must be positive");
+        assert!(n_buckets > 0, "need at least one bucket");
+        Histogram {
+            min_bucket,
+            counts: vec![0; n_buckets],
+            total: 0,
+            sum: 0.0,
+            max: f64::NEG_INFINITY,
+            min: f64::INFINITY,
+        }
+    }
+
+    /// Index of the bucket holding `value`.
+    fn bucket_of(&self, value: f64) -> usize {
+        if value <= self.min_bucket {
+            return 0;
+        }
+        let idx = (value / self.min_bucket).log2().ceil() as usize;
+        idx.min(self.counts.len() - 1)
+    }
+
+    /// Upper bound of bucket `i`.
+    fn bucket_upper(&self, i: usize) -> f64 {
+        self.min_bucket * 2f64.powi(i as i32)
+    }
+
+    /// Records one sample (negative samples clamp to the first bucket).
+    pub fn record(&mut self, value: f64) {
+        let b = self.bucket_of(value.max(0.0));
+        self.counts[b] += 1;
+        self.total += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+        self.min = self.min.min(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`: the upper bound of the bucket
+    /// containing the q-th sample (an over-estimate by at most one bucket
+    /// width, i.e. 2×). Returns 0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return self.bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram with identical bucket layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics on layout mismatch.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.min_bucket, other.min_bucket, "bucket layout mismatch");
+        assert_eq!(self.counts.len(), other.counts.len(), "bucket layout mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_summarizes() {
+        let mut h = Histogram::new(1.0, 16);
+        for v in 1..=100 {
+            h.record(v as f64);
+        }
+        assert_eq!(h.count(), 100);
+        assert!((h.mean() - 50.5).abs() < 1e-9);
+        assert_eq!(h.max(), 100.0);
+        assert_eq!(h.min(), 1.0);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds() {
+        let mut h = Histogram::new(1.0, 16);
+        for v in [1.0, 2.0, 4.0, 8.0] {
+            h.record(v);
+        }
+        // Exact powers of two land on bucket boundaries.
+        assert!(h.quantile(0.25) <= 2.0);
+        assert!(h.quantile(1.0) >= 8.0);
+        // Quantile never exceeds the recorded max.
+        assert!(h.quantile(1.0) <= h.max());
+    }
+
+    #[test]
+    fn overflow_clamps_to_last_bucket() {
+        let mut h = Histogram::new(1.0, 4); // buckets up to 8
+        h.record(1e12);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile(1.0), h.bucket_upper(3).clamp(8.0, 1e12));
+    }
+
+    #[test]
+    fn quantile_accuracy_within_2x() {
+        let mut h = Histogram::new(1.0, 40);
+        let mut exact: Vec<f64> = Vec::new();
+        for i in 0..10_000 {
+            let v = (i as f64 * 7.3) % 5000.0 + 1.0;
+            h.record(v);
+            exact.push(v);
+        }
+        exact.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.5, 0.9, 0.99] {
+            let approx = h.quantile(q);
+            let truth = exact[((q * exact.len() as f64) as usize).min(exact.len() - 1)];
+            assert!(
+                approx >= truth * 0.99 && approx <= truth * 2.01,
+                "q{q}: approx {approx} vs exact {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new(1.0, 8);
+        let mut b = Histogram::new(1.0, 8);
+        a.record(1.0);
+        b.record(100.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 100.0);
+        assert_eq!(a.min(), 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = Histogram::new(1.0, 8);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.99), 0.0);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_quantile_panics() {
+        Histogram::new(1.0, 8).quantile(1.5);
+    }
+}

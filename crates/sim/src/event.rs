@@ -1,0 +1,228 @@
+//! Cancellable discrete-event queue.
+//!
+//! The two-level scheduler simulation constantly arms timers that become
+//! irrelevant before they fire: a vCPU's 30 ms slice-expiry timer dies when
+//! the vCPU blocks early; a task's compute-completion event dies when its
+//! vCPU is preempted. Rather than eagerly removing entries from the heap
+//! (O(n)), [`EventQueue::cancel`] marks the entry dead and [`EventQueue::pop`]
+//! lazily skips corpses.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Handle to a scheduled event, used for cancellation.
+///
+/// Ids are unique for the lifetime of the queue and never reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+impl EventId {
+    /// Raw id value (diagnostics only).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+/// A time-ordered queue of events with stable FIFO tie-breaking and O(1)
+/// logical cancellation.
+///
+/// Events scheduled for the same instant pop in the order they were
+/// scheduled, which gives the simulation a deterministic total order — a
+/// prerequisite for the reproducibility guarantees in `DESIGN.md`.
+///
+/// # Example
+///
+/// ```
+/// use irs_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_nanos(5), 'b');
+/// q.schedule(SimTime::from_nanos(1), 'a');
+/// q.schedule(SimTime::from_nanos(5), 'c');
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+/// assert_eq!(order, vec!['a', 'b', 'c']);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry>>,
+    payloads: HashMap<u64, E>,
+    next_id: u64,
+    live: usize,
+}
+
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Entry {
+    at: SimTime,
+    seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            payloads: HashMap::new(),
+            next_id: 0,
+            live: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at instant `at` and returns a handle that
+    /// can later be passed to [`cancel`](Self::cancel).
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.heap.push(Reverse(Entry { at, seq: id }));
+        self.payloads.insert(id, payload);
+        self.live += 1;
+        EventId(id)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event was still pending, `false` if it had
+    /// already fired or been cancelled. Cancellation is O(1); the heap entry
+    /// is discarded lazily on a later pop.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if self.payloads.remove(&id.0).is_some() {
+            self.live -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes and returns the earliest live event as `(time, payload)`.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if let Some(payload) = self.payloads.remove(&entry.seq) {
+                self.live -= 1;
+                return Some((entry.at, payload));
+            }
+        }
+        None
+    }
+
+    /// The firing time of the earliest live event, without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if self.payloads.contains_key(&entry.seq) {
+                return Some(entry.at);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Number of live (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Drops every pending event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.payloads.clear();
+        self.live = 0;
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(q: &mut EventQueue<u32>) -> Vec<(u64, u32)> {
+        std::iter::from_fn(|| q.pop().map(|(t, p)| (t.as_nanos(), p))).collect()
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(30), 3);
+        q.schedule(SimTime::from_nanos(10), 1);
+        q.schedule(SimTime::from_nanos(20), 2);
+        assert_eq!(drain(&mut q), vec![(10, 1), (20, 2), (30, 3)]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for v in 0..100u32 {
+            q.schedule(SimTime::from_nanos(42), v);
+        }
+        let popped: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(popped, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_nanos(1), 1);
+        q.schedule(SimTime::from_nanos(2), 2);
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel reports false");
+        assert_eq!(drain(&mut q), vec![(2, 2)]);
+    }
+
+    #[test]
+    fn cancel_after_pop_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_nanos(1), 7);
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(1), 7)));
+        assert!(!q.cancel(a));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_nanos(1), 1);
+        q.schedule(SimTime::from_nanos(5), 2);
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(5)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn len_tracks_live_events() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        let a = q.schedule(SimTime::from_nanos(1), 1);
+        q.schedule(SimTime::from_nanos(2), 2);
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_discards_everything() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(1), 1);
+        q.schedule(SimTime::from_nanos(2), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ids_are_never_reused() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_nanos(1), 1);
+        q.pop();
+        let b = q.schedule(SimTime::from_nanos(1), 1);
+        assert_ne!(a, b);
+    }
+}

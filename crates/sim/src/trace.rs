@@ -1,0 +1,178 @@
+//! Bounded in-memory trace ring.
+//!
+//! Scheduler bugs are interleaving bugs; a printf is useless without the
+//! virtual timestamp and the last few hundred decisions that led up to the
+//! failure. [`TraceRing`] keeps a bounded window of `(time, message)` records
+//! that tests and the `figures` binary can dump when an assertion trips.
+//!
+//! Tracing is entirely opt-in: a disabled ring ignores records at ~zero cost,
+//! so production runs of the big parameter sweeps pay nothing.
+
+use crate::time::SimTime;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One trace record: a timestamp, a static category, and a rendered message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Virtual time at which the event was recorded.
+    pub at: SimTime,
+    /// Category tag, e.g. `"xen.schedule"` or `"guest.migrate"`.
+    pub category: &'static str,
+    /// Rendered description of the event.
+    pub message: String,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>12}] {:<18} {}", self.at, self.category, self.message)
+    }
+}
+
+/// A bounded ring buffer of trace records.
+///
+/// # Example
+///
+/// ```
+/// use irs_sim::trace::TraceRing;
+/// use irs_sim::SimTime;
+///
+/// let mut ring = TraceRing::enabled(2);
+/// ring.record(SimTime::from_nanos(1), "test", || "first".to_string());
+/// ring.record(SimTime::from_nanos(2), "test", || "second".to_string());
+/// ring.record(SimTime::from_nanos(3), "test", || "third".to_string());
+/// // capacity 2: the oldest record was evicted
+/// assert_eq!(ring.records().len(), 2);
+/// assert_eq!(ring.records()[0].message, "second");
+/// ```
+#[derive(Debug)]
+pub struct TraceRing {
+    enabled: bool,
+    capacity: usize,
+    records: VecDeque<TraceRecord>,
+}
+
+impl TraceRing {
+    /// Creates a disabled ring: every `record` call is a no-op.
+    pub fn disabled() -> Self {
+        TraceRing {
+            enabled: false,
+            capacity: 0,
+            records: VecDeque::new(),
+        }
+    }
+
+    /// Creates an enabled ring holding at most `capacity` records.
+    pub fn enabled(capacity: usize) -> Self {
+        TraceRing {
+            enabled: true,
+            capacity: capacity.max(1),
+            records: VecDeque::with_capacity(capacity.clamp(1, 4096)),
+        }
+    }
+
+    /// True if records are being captured.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event. The message closure only runs when tracing is
+    /// enabled, so callers can interpolate freely without paying for it in
+    /// disabled runs.
+    #[inline]
+    pub fn record<F>(&mut self, at: SimTime, category: &'static str, message: F)
+    where
+        F: FnOnce() -> String,
+    {
+        if !self.enabled {
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+        }
+        self.records.push_back(TraceRecord {
+            at,
+            category,
+            message: message(),
+        });
+    }
+
+    /// The captured records, oldest first.
+    pub fn records(&self) -> &VecDeque<TraceRecord> {
+        &self.records
+    }
+
+    /// Renders the whole ring, one record per line (newest last).
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Discards all captured records but keeps capture enabled/disabled state.
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+impl Default for TraceRing {
+    fn default() -> Self {
+        TraceRing::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_ring_records_nothing() {
+        let mut ring = TraceRing::disabled();
+        ring.record(SimTime::ZERO, "x", || {
+            panic!("message closure must not run when disabled")
+        });
+        assert!(ring.records().is_empty());
+    }
+
+    #[test]
+    fn enabled_ring_keeps_newest() {
+        let mut ring = TraceRing::enabled(3);
+        for i in 0..10u64 {
+            ring.record(SimTime::from_nanos(i), "t", || format!("m{i}"));
+        }
+        let msgs: Vec<&str> = ring.records().iter().map(|r| r.message.as_str()).collect();
+        assert_eq!(msgs, vec!["m7", "m8", "m9"]);
+    }
+
+    #[test]
+    fn capacity_zero_is_bumped_to_one() {
+        let mut ring = TraceRing::enabled(0);
+        ring.record(SimTime::ZERO, "t", || "only".to_string());
+        ring.record(SimTime::ZERO, "t", || "survivor".to_string());
+        assert_eq!(ring.records().len(), 1);
+        assert_eq!(ring.records()[0].message, "survivor");
+    }
+
+    #[test]
+    fn dump_is_line_per_record() {
+        let mut ring = TraceRing::enabled(4);
+        ring.record(SimTime::from_micros(26), "xen.sa", || "sent".to_string());
+        ring.record(SimTime::from_millis(30), "xen.sched", || "switch".to_string());
+        let dump = ring.dump();
+        assert_eq!(dump.lines().count(), 2);
+        assert!(dump.contains("xen.sa"));
+        assert!(dump.contains("26.000us"));
+    }
+
+    #[test]
+    fn clear_keeps_enabled() {
+        let mut ring = TraceRing::enabled(4);
+        ring.record(SimTime::ZERO, "t", || "a".to_string());
+        ring.clear();
+        assert!(ring.records().is_empty());
+        assert!(ring.is_enabled());
+    }
+}

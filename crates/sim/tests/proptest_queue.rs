@@ -1,0 +1,98 @@
+//! Property tests for the event queue: it must behave as a stable total
+//! order over (time, insertion sequence), with cancellation removing exactly
+//! the cancelled entries.
+
+use irs_sim::{EventQueue, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Popping yields events in nondecreasing time order, FIFO among ties.
+    #[test]
+    fn pop_order_is_total(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut expected: Vec<(u64, usize)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        expected.sort();
+        let mut got = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            got.push((t.as_nanos(), i));
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Cancelling a subset removes exactly that subset; everything else pops
+    /// in order.
+    #[test]
+    fn cancel_removes_exactly_the_cancelled(
+        times in prop::collection::vec(0u64..1_000, 1..200),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| q.schedule(SimTime::from_nanos(t), i))
+            .collect();
+        let mut kept = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            if *cancel_mask.get(i).unwrap_or(&false) {
+                prop_assert!(q.cancel(*id));
+            } else {
+                kept.push((times[i], i));
+            }
+        }
+        kept.sort();
+        prop_assert_eq!(q.len(), kept.len());
+        let mut got = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            got.push((t.as_nanos(), i));
+        }
+        prop_assert_eq!(got, kept);
+    }
+
+    /// peek_time always agrees with the next pop.
+    #[test]
+    fn peek_matches_pop(times in prop::collection::vec(0u64..100, 1..64)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        while let Some(peeked) = q.peek_time() {
+            let (popped, _) = q.pop().unwrap();
+            prop_assert_eq!(peeked, popped);
+        }
+        prop_assert!(q.is_empty());
+    }
+
+    /// len is consistent under an arbitrary interleaving of operations.
+    #[test]
+    fn len_is_consistent(ops in prop::collection::vec(0u8..3, 1..300)) {
+        let mut q = EventQueue::new();
+        let mut ids = Vec::new();
+        let mut expected_len = 0usize;
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                0 => {
+                    ids.push(q.schedule(SimTime::from_nanos(i as u64 % 17), i));
+                    expected_len += 1;
+                }
+                1 => {
+                    if let Some(id) = ids.pop() {
+                        if q.cancel(id) {
+                            expected_len -= 1;
+                        }
+                    }
+                }
+                _ => {
+                    if q.pop().is_some() {
+                        expected_len -= 1;
+                    }
+                }
+            }
+            prop_assert_eq!(q.len(), expected_len);
+        }
+    }
+}

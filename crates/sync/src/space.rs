@@ -1,0 +1,170 @@
+//! The per-VM container of synchronization objects.
+
+use crate::barrier::Barrier;
+use crate::channel::Channel;
+use crate::lock::Lock;
+use crate::pool::WorkPool;
+use crate::WaitMode;
+use std::fmt;
+
+macro_rules! sync_id {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub usize);
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+    };
+}
+
+sync_id!(
+    /// Handle to a [`Lock`] in a [`SyncSpace`].
+    LockId,
+    "lock"
+);
+sync_id!(
+    /// Handle to a [`Barrier`] in a [`SyncSpace`].
+    BarrierId,
+    "barrier"
+);
+sync_id!(
+    /// Handle to a [`Channel`] in a [`SyncSpace`].
+    ChannelId,
+    "chan"
+);
+sync_id!(
+    /// Handle to a [`WorkPool`] in a [`SyncSpace`].
+    PoolId,
+    "pool"
+);
+
+/// All synchronization objects of one VM's workload.
+///
+/// See the [crate-level example](crate) for usage.
+#[derive(Debug, Default)]
+pub struct SyncSpace {
+    locks: Vec<Lock>,
+    barriers: Vec<Barrier>,
+    channels: Vec<Channel>,
+    pools: Vec<WorkPool>,
+}
+
+impl SyncSpace {
+    /// Creates an empty space.
+    pub fn new() -> Self {
+        SyncSpace::default()
+    }
+
+    /// Allocates a lock.
+    pub fn new_lock(&mut self, mode: WaitMode) -> LockId {
+        self.locks.push(Lock::new(mode));
+        LockId(self.locks.len() - 1)
+    }
+
+    /// Allocates a barrier.
+    pub fn new_barrier(&mut self, parties: usize, mode: WaitMode) -> BarrierId {
+        self.barriers.push(Barrier::new(parties, mode));
+        BarrierId(self.barriers.len() - 1)
+    }
+
+    /// Allocates a bounded channel.
+    pub fn new_channel(&mut self, capacity: usize) -> ChannelId {
+        self.channels.push(Channel::new(capacity));
+        ChannelId(self.channels.len() - 1)
+    }
+
+    /// Allocates a work pool.
+    pub fn new_pool(&mut self, chunks: u64) -> PoolId {
+        self.pools.push(WorkPool::new(chunks));
+        PoolId(self.pools.len() - 1)
+    }
+
+    /// Mutable access to a lock.
+    pub fn lock(&mut self, id: LockId) -> &mut Lock {
+        &mut self.locks[id.0]
+    }
+
+    /// Mutable access to a barrier.
+    pub fn barrier(&mut self, id: BarrierId) -> &mut Barrier {
+        &mut self.barriers[id.0]
+    }
+
+    /// Mutable access to a channel.
+    pub fn channel(&mut self, id: ChannelId) -> &mut Channel {
+        &mut self.channels[id.0]
+    }
+
+    /// Mutable access to a pool.
+    pub fn pool(&mut self, id: PoolId) -> &mut WorkPool {
+        &mut self.pools[id.0]
+    }
+
+    /// Shared access to a lock.
+    pub fn lock_ref(&self, id: LockId) -> &Lock {
+        &self.locks[id.0]
+    }
+
+    /// Shared access to a barrier.
+    pub fn barrier_ref(&self, id: BarrierId) -> &Barrier {
+        &self.barriers[id.0]
+    }
+
+    /// Shared access to a channel.
+    pub fn channel_ref(&self, id: ChannelId) -> &Channel {
+        &self.channels[id.0]
+    }
+
+    /// Shared access to a pool.
+    pub fn pool_ref(&self, id: PoolId) -> &WorkPool {
+        &self.pools[id.0]
+    }
+
+    /// Number of locks allocated.
+    pub fn n_locks(&self) -> usize {
+        self.locks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AcquireOutcome, BarrierOutcome};
+    use irs_guest::TaskId;
+
+    #[test]
+    fn allocation_returns_distinct_handles() {
+        let mut s = SyncSpace::new();
+        let a = s.new_lock(WaitMode::Block);
+        let b = s.new_lock(WaitMode::Spin);
+        assert_ne!(a, b);
+        assert_eq!(s.n_locks(), 2);
+        assert_eq!(s.lock_ref(a).mode(), WaitMode::Block);
+        assert_eq!(s.lock_ref(b).mode(), WaitMode::Spin);
+    }
+
+    #[test]
+    fn objects_are_independent() {
+        let mut s = SyncSpace::new();
+        let l = s.new_lock(WaitMode::Block);
+        let bar = s.new_barrier(2, WaitMode::Spin);
+        assert_eq!(s.lock(l).acquire(TaskId(0)), AcquireOutcome::Acquired);
+        assert_eq!(
+            s.barrier(bar).arrive(TaskId(0)),
+            BarrierOutcome::MustWait(WaitMode::Spin)
+        );
+        assert_eq!(s.lock_ref(l).holder(), Some(TaskId(0)));
+        assert_eq!(s.barrier_ref(bar).n_waiting(), 1);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(LockId(1).to_string(), "lock1");
+        assert_eq!(BarrierId(2).to_string(), "barrier2");
+        assert_eq!(ChannelId(3).to_string(), "chan3");
+        assert_eq!(PoolId(4).to_string(), "pool4");
+    }
+}

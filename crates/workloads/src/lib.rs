@@ -1,0 +1,56 @@
+//! # irs-workloads — workload models for the IRS reproduction
+//!
+//! The paper evaluates IRS on PARSEC (pthreads, blocking synchronization),
+//! NPB (OpenMP, spinning when `OMP_WAIT_POLICY=active`), SPECjbb2005, the
+//! Apache `ab` benchmark, and a CPU-hog micro-benchmark. None of those can
+//! run on a scheduling simulator directly, so this crate provides the
+//! closest synthetic equivalents: each benchmark becomes a set of small
+//! **programs** (one per thread) over the `irs-sync` primitives, with
+//! per-benchmark parameters — synchronization type and granularity,
+//! pipeline shape, memory intensity — matched to the structural properties
+//! the paper's analysis relies on (see `DESIGN.md` §1 for the substitution
+//! table and `presets` for the catalog).
+//!
+//! The pieces:
+//!
+//! * [`Program`] / [`ProgramBuilder`] — a tiny validated bytecode: compute
+//!   segments with jitter, lock/unlock, barrier arrival, channel push/pop,
+//!   work-steal loops, bounded/infinite loops, request markers.
+//! * [`ProgramRunner`] — resumable interpreter; yields [`Step`]s to the
+//!   embedding simulation, which models time, blocking, and spinning.
+//! * [`WorkloadBundle`] — a named set of thread programs plus their
+//!   [`SyncSpace`](irs_sync::SyncSpace), memory intensity, and (for servers) the open-loop
+//!   arrival process.
+//! * [`presets`] — the catalog: 13 PARSEC-like, 9 NPB-like, 2 server, and
+//!   the hog micro-benchmark.
+//!
+//! # Example
+//!
+//! ```
+//! use irs_sim::SimRng;
+//! use irs_sync::WaitMode;
+//! use irs_workloads::presets;
+//! use irs_workloads::{ProgramRunner, Step};
+//!
+//! let mut bundle = presets::parsec::streamcluster(4, WaitMode::Block);
+//! assert_eq!(bundle.threads.len(), 4);
+//! let mut rng = SimRng::seed_from(1);
+//! let mut runner = ProgramRunner::new(bundle.threads[0].clone());
+//! // The first step of a streamcluster thread is a compute segment.
+//! match runner.next(&mut rng, &mut bundle.space) {
+//!     Step::Compute { ns } => assert!(ns > 0),
+//!     other => panic!("unexpected first step {other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bundle;
+pub mod presets;
+mod program;
+mod runner;
+
+pub use bundle::{OpenLoop, WorkloadBundle, WorkloadKind};
+pub use program::{Op, Program, ProgramBuilder};
+pub use runner::{ProgramRunner, Step};

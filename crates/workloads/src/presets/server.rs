@@ -1,0 +1,111 @@
+//! Multi-threaded server presets (§5.3): a SPECjbb2005-like closed-loop
+//! warehouse model and an Apache-`ab`-like open-loop request model.
+
+use crate::bundle::{OpenLoop, WorkloadBundle};
+use crate::program::ProgramBuilder;
+use irs_sim::SimTime;
+use irs_sync::{SyncSpace, WaitMode};
+
+/// SPECjbb2005-like closed loop: `warehouses` threads each processing
+/// back-to-back transactions (the paper sets warehouses = vCPUs for a
+/// one-to-one mapping). Each transaction computes ~3 ms and touches a
+/// shared lock briefly ("SPECjbb performs little synchronization").
+///
+/// Latency of the `RequestStart`→`RequestDone` span models the "new order
+/// transaction" latency of Fig 8(b).
+pub fn specjbb(warehouses: usize) -> WorkloadBundle {
+    assert!(warehouses > 0, "specjbb needs at least one warehouse");
+    let mut space = SyncSpace::new();
+    let lock = space.new_lock(WaitMode::Block);
+    let threads = (0..warehouses)
+        .map(|_| {
+            ProgramBuilder::new()
+                .forever(|b| {
+                    b.request_start()
+                        .compute_us(3_000, 0.4)
+                        .lock(lock)
+                        .compute_us(20, 0.1)
+                        .unlock(lock)
+                        .request_done()
+                })
+                .build()
+        })
+        .collect();
+    WorkloadBundle::server("specjbb", threads, space, 0.4, None)
+}
+
+/// Apache-`ab`-like open loop: `workers` independent threads popping
+/// requests from a shared accept queue (no synchronization between
+/// requests, matching "threads servicing client requests are independent").
+///
+/// The paper uses 1000 connections against `MaxClient` 512, i.e. far more
+/// threads than vCPUs — which is why IRS helps `ab` little (§5.3): the
+/// guest balancer already spreads this many threads by interference level.
+///
+/// `offered_load` sets the arrival rate as a fraction of the service
+/// capacity of `capacity_vcpus` vCPUs.
+pub fn apache_ab(workers: usize, capacity_vcpus: usize, offered_load: f64) -> WorkloadBundle {
+    assert!(workers > 0, "ab needs at least one worker");
+    assert!(capacity_vcpus > 0);
+    assert!(
+        offered_load > 0.0 && offered_load < 1.0,
+        "offered load must be in (0, 1) for a stable open loop"
+    );
+    let service_us = 2_000u64;
+    let mut space = SyncSpace::new();
+    let accept_queue = space.new_channel(4096);
+    let threads = (0..workers)
+        .map(|_| {
+            ProgramBuilder::new()
+                .forever(|b| {
+                    b.pop(accept_queue)
+                        .compute_us(service_us, 0.3)
+                        .request_done()
+                })
+                .build()
+        })
+        .collect();
+    let capacity_rps = capacity_vcpus as f64 * 1e6 / service_us as f64;
+    let mean_interarrival =
+        SimTime::from_nanos((1e9 / (capacity_rps * offered_load)).round() as u64);
+    WorkloadBundle::server(
+        "ab",
+        threads,
+        space,
+        0.2,
+        Some(OpenLoop {
+            channel: accept_queue,
+            mean_interarrival,
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle::WorkloadKind;
+
+    #[test]
+    fn specjbb_shape() {
+        let b = specjbb(4);
+        assert_eq!(b.kind, WorkloadKind::Server);
+        assert_eq!(b.n_threads(), 4);
+        assert!(b.open_loop.is_none(), "closed loop has no arrival process");
+    }
+
+    #[test]
+    fn ab_shape_and_rate() {
+        let b = apache_ab(512, 4, 0.6);
+        assert_eq!(b.n_threads(), 512);
+        let ol = b.open_loop.expect("ab is open loop");
+        // Capacity 2000 rps × 0.6 = 1200 rps → ~833 µs inter-arrival.
+        let us = ol.mean_interarrival.as_micros();
+        assert!((830..=840).contains(&us), "got {us} µs");
+    }
+
+    #[test]
+    #[should_panic(expected = "stable open loop")]
+    fn overload_is_rejected() {
+        apache_ab(8, 4, 1.5);
+    }
+}

@@ -1,0 +1,100 @@
+//! Physical CPU state: the run queue and the current dispatch.
+
+use crate::ids::{PcpuId, VcpuRef};
+use irs_sim::SimTime;
+use std::collections::VecDeque;
+
+/// Per-pCPU scheduler state.
+#[derive(Debug)]
+pub(crate) struct Pcpu {
+    pub id: PcpuId,
+    /// The vCPU currently executing, if any.
+    pub current: Option<VcpuRef>,
+    /// Runnable vCPUs waiting on this pCPU (FIFO arrival order; priority is
+    /// looked up on the vCPU itself at pick time).
+    pub runq: VecDeque<VcpuRef>,
+    /// When the current dispatch began (slice baseline).
+    pub dispatch_start: SimTime,
+    /// Effective slice length of the current dispatch (base ± jitter).
+    pub cur_slice: SimTime,
+    /// Incremented on every dispatch / slice refresh; invalidates stale
+    /// slice-expiry timers held by the embedder.
+    pub dispatch_gen: u64,
+    /// A preemption is deferred on this pCPU awaiting an SA acknowledgement
+    /// from the named (still running) vCPU.
+    pub sa_wait: Option<VcpuRef>,
+}
+
+impl Pcpu {
+    pub(crate) fn new(id: PcpuId) -> Self {
+        Pcpu {
+            id,
+            current: None,
+            runq: VecDeque::new(),
+            dispatch_start: SimTime::ZERO,
+            cur_slice: SimTime::ZERO,
+            dispatch_gen: 0,
+            sa_wait: None,
+        }
+    }
+
+    /// Removes `vcpu` from the runqueue if queued; returns whether it was.
+    pub(crate) fn dequeue(&mut self, vcpu: VcpuRef) -> bool {
+        if let Some(pos) = self.runq.iter().position(|&v| v == vcpu) {
+            self.runq.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of vCPUs that want CPU here (current + queued).
+    pub(crate) fn load(&self) -> usize {
+        self.runq.len() + usize::from(self.current.is_some())
+    }
+}
+
+/// Public snapshot of what a pCPU is running, used by the embedding
+/// simulation to (re)arm slice-expiry timers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchInfo {
+    /// The running vCPU.
+    pub vcpu: VcpuRef,
+    /// When this dispatch (or slice refresh) began.
+    pub since: SimTime,
+    /// Effective slice length of this dispatch (expiry = `since + slice`).
+    pub slice: SimTime,
+    /// Generation token; a timer armed under an older generation is stale.
+    pub generation: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::VmId;
+
+    fn v(i: usize) -> VcpuRef {
+        VcpuRef::new(VmId(0), i)
+    }
+
+    #[test]
+    fn dequeue_removes_only_target() {
+        let mut p = Pcpu::new(PcpuId(0));
+        p.runq.push_back(v(0));
+        p.runq.push_back(v(1));
+        p.runq.push_back(v(2));
+        assert!(p.dequeue(v(1)));
+        assert!(!p.dequeue(v(1)));
+        assert_eq!(p.runq, VecDeque::from(vec![v(0), v(2)]));
+    }
+
+    #[test]
+    fn load_counts_current_and_queued() {
+        let mut p = Pcpu::new(PcpuId(0));
+        assert_eq!(p.load(), 0);
+        p.runq.push_back(v(0));
+        assert_eq!(p.load(), 1);
+        p.current = Some(v(1));
+        assert_eq!(p.load(), 2);
+    }
+}

@@ -1,0 +1,190 @@
+//! Property tests: the hypervisor's invariants survive arbitrary
+//! interleavings of scheduling operations.
+
+use irs_sim::SimTime;
+use irs_xen::{Hypervisor, PcpuId, RunState, SaConfig, SchedOp, VcpuRef, VmId, VmSpec, XenConfig};
+use proptest::prelude::*;
+
+/// One randomly chosen external stimulus.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Tick,
+    Accounting,
+    SliceExpiry(u8),
+    Wake(u8, u8),
+    Block(u8, u8),
+    Yield(u8, u8),
+    SaAckYield(u8, u8),
+    SaAckBlock(u8, u8),
+    SaTimeout(u8, u8),
+    PleExit(u8, u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Tick),
+        Just(Op::Accounting),
+        (0u8..4).prop_map(Op::SliceExpiry),
+        (0u8..3, 0u8..4).prop_map(|(a, b)| Op::Wake(a, b)),
+        (0u8..3, 0u8..4).prop_map(|(a, b)| Op::Block(a, b)),
+        (0u8..3, 0u8..4).prop_map(|(a, b)| Op::Yield(a, b)),
+        (0u8..3, 0u8..4).prop_map(|(a, b)| Op::SaAckYield(a, b)),
+        (0u8..3, 0u8..4).prop_map(|(a, b)| Op::SaAckBlock(a, b)),
+        (0u8..3, 0u8..4).prop_map(|(a, b)| Op::SaTimeout(a, b)),
+        (0u8..3, 0u8..4).prop_map(|(a, b)| Op::PleExit(a, b)),
+    ]
+}
+
+fn build(pinned: bool, sa: bool) -> Hypervisor {
+    let cfg = XenConfig {
+        sa: if sa { Some(SaConfig::default()) } else { None },
+        ple: Some(irs_xen::PleConfig::default()),
+        migration: !pinned,
+        ..XenConfig::default()
+    };
+    let mut hv = Hypervisor::new(cfg, 4);
+    for vm in 0..3 {
+        let mut spec = VmSpec::new(4).sa_capable(sa && vm == 0);
+        if pinned {
+            spec = spec.pin((0..4).map(PcpuId).collect());
+        }
+        hv.create_vm(spec);
+    }
+    hv.start(SimTime::ZERO);
+    hv
+}
+
+fn apply(hv: &mut Hypervisor, op: Op, now: SimTime) {
+    let v = |a: u8, b: u8| VcpuRef::new(VmId(a as usize), b as usize);
+    match op {
+        Op::Tick => {
+            hv.tick(now);
+        }
+        Op::Accounting => {
+            hv.accounting(now);
+        }
+        Op::SliceExpiry(p) => {
+            if let Some(info) = hv.dispatch_info(PcpuId(p as usize)) {
+                hv.slice_expired(PcpuId(p as usize), info.generation, now);
+            }
+        }
+        Op::Wake(a, b) => {
+            hv.vcpu_wake(v(a, b), now);
+        }
+        Op::Block(a, b) => {
+            hv.sched_op(v(a, b), SchedOp::Block, now);
+        }
+        Op::Yield(a, b) => {
+            hv.sched_op(v(a, b), SchedOp::Yield, now);
+        }
+        Op::SaAckYield(a, b) => {
+            hv.sched_op(v(a, b), SchedOp::Yield, now);
+        }
+        Op::SaAckBlock(a, b) => {
+            hv.sched_op(v(a, b), SchedOp::Block, now);
+        }
+        Op::SaTimeout(a, b) => {
+            let gen = hv.sa_generation(v(a, b));
+            hv.sa_timeout(v(a, b), gen, now);
+        }
+        Op::PleExit(a, b) => {
+            hv.ple_exit(v(a, b), now);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Invariants hold after every operation, pinned configuration.
+    #[test]
+    fn invariants_pinned(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut hv = build(true, true);
+        let mut now = SimTime::ZERO;
+        for op in ops {
+            now += SimTime::from_micros(137);
+            apply(&mut hv, op, now);
+            hv.check_invariants();
+        }
+    }
+
+    /// Invariants hold with migration (stealing + placement) enabled.
+    #[test]
+    fn invariants_unpinned(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut hv = build(false, true);
+        let mut now = SimTime::ZERO;
+        for op in ops {
+            now += SimTime::from_micros(211);
+            apply(&mut hv, op, now);
+            hv.check_invariants();
+        }
+    }
+
+    /// Credits stay within [floor, cap] no matter the interleaving.
+    #[test]
+    fn credits_bounded(ops in prop::collection::vec(op_strategy(), 1..150)) {
+        let mut hv = build(true, false);
+        let mut now = SimTime::ZERO;
+        for op in ops {
+            now += SimTime::from_micros(401);
+            apply(&mut hv, op, now);
+            for v in hv.all_vcpus().collect::<Vec<_>>() {
+                let c = hv.vcpu_credits(v);
+                prop_assert!((-300..=300).contains(&c), "{v} credits {c}");
+            }
+        }
+    }
+
+    /// Runstate accounting is conservative: per-vCPU residencies sum to
+    /// elapsed time, and running time never exceeds wall time.
+    #[test]
+    fn runstate_accounting_conserves_time(ops in prop::collection::vec(op_strategy(), 1..150)) {
+        let mut hv = build(true, true);
+        let mut now = SimTime::ZERO;
+        for op in ops {
+            now += SimTime::from_micros(733);
+            apply(&mut hv, op, now);
+        }
+        for v in hv.all_vcpus().collect::<Vec<_>>() {
+            let info = hv.runstate(v, now);
+            prop_assert_eq!(info.total(), now, "{} total mismatch", v);
+            prop_assert!(info.running <= now);
+        }
+        // Physical conservation: total running time across vCPUs can never
+        // exceed pCPUs × elapsed.
+        let total_run: u64 = hv
+            .all_vcpus()
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|v| hv.runstate(v, now).running.as_nanos())
+            .sum();
+        prop_assert!(total_run <= 4 * now.as_nanos());
+    }
+
+    /// No pCPU idles while it has runnable (unparked) work queued.
+    #[test]
+    fn no_idle_with_queued_work(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut hv = build(true, false);
+        let mut now = SimTime::ZERO;
+        for op in ops {
+            now += SimTime::from_micros(97);
+            apply(&mut hv, op, now);
+            for p in 0..4usize {
+                let idle = hv.pcpu_current(PcpuId(p)).is_none();
+                if idle {
+                    // every vcpu homed+runnable on p would be a violation
+                    let stranded = hv
+                        .all_vcpus()
+                        .collect::<Vec<_>>()
+                        .into_iter()
+                        .filter(|&v| {
+                            hv.vcpu_home(v) == PcpuId(p)
+                                && hv.vcpu_state(v) == RunState::Runnable
+                        })
+                        .count();
+                    prop_assert_eq!(stranded, 0, "pcpu{} idle with {} runnable", p, stranded);
+                }
+            }
+        }
+    }
+}

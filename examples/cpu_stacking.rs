@@ -1,0 +1,52 @@
+//! The §5.6 CPU-stacking pathology: unpin everything and let the
+//! hypervisor's load balancer place vCPUs. Blocking workloads exhibit
+//! deceptive idleness, get stacked onto few pCPUs, and crater; IRS keeps
+//! vCPUs exhibiting their factual demand.
+//!
+//! Run with: `cargo run --release --example cpu_stacking`
+
+use irs_sched::metrics::improvement_pct;
+use irs_sched::{Scenario, Strategy};
+
+fn unpinned(bench: &str, strategy: Strategy, seed: u64) -> f64 {
+    let mut s = Scenario::fig5_style(bench, 4, strategy, seed);
+    for vm in &mut s.vms {
+        vm.pinning = None;
+    }
+    s.run().measured().makespan_ms()
+}
+
+fn pinned(bench: &str, seed: u64) -> f64 {
+    Scenario::fig5_style(bench, 4, Strategy::Vanilla, seed)
+        .run()
+        .measured()
+        .makespan_ms()
+}
+
+fn main() {
+    println!("4 CPU hogs, everything unpinned (hypervisor balances vCPUs)\n");
+    let seeds = 3u64;
+    for bench in ["streamcluster", "fluidanimate", "MG", "CG"] {
+        let mean = |f: &dyn Fn(u64) -> f64| (1..=seeds).map(f).sum::<f64>() / seeds as f64;
+        let pin = mean(&|s| pinned(bench, s));
+        let van = mean(&|s| unpinned(bench, Strategy::Vanilla, s));
+        println!(
+            "{bench}: pinned vanilla {pin:.0} ms -> unpinned vanilla {van:.0} ms \
+             ({:.2}x stacking cost)",
+            van / pin
+        );
+        for strategy in [Strategy::Ple, Strategy::RelaxedCo, Strategy::Irs] {
+            let ms = mean(&|s| unpinned(bench, strategy, s));
+            println!(
+                "    {:<11} {ms:7.0} ms  ({:+.1}% vs unpinned vanilla)",
+                strategy.to_string(),
+                improvement_pct(van, ms)
+            );
+        }
+    }
+    println!(
+        "\nBlocked vCPUs look idle, so the balancer parks siblings together\n\
+         (deceptive idleness). PLE makes blocking workloads idle even more;\n\
+         IRS instead keeps every running vCPU loaded with migrated work."
+    );
+}
