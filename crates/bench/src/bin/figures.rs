@@ -2,16 +2,20 @@
 //! optionally CSV).
 //!
 //! ```text
-//! figures <experiment>... [--seeds N] [--base-seed S] [--quick] [--csv DIR]
+//! figures <experiment>... [--seeds N] [--base-seed S] [--jobs N] [--quick] [--csv DIR]
 //!
 //! experiments:
 //!   fig1a fig1b fig2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
 //!   fairness sa_stats stacking_baseline
 //!   ablate_pingpong ablate_idle_first ablate_sa_delay ablate_pull
 //!   ablate_slice ablate_pv_spin
+//!   perf   (engine self-benchmark; writes BENCH_runner.json)
 //!   core   (= the per-figure set used by EXPERIMENTS.md)
 //!   all
 //! ```
+//!
+//! `--jobs N` sets the worker-thread count for the run fan-out (default:
+//! all available cores). Tables are identical for every worker count.
 
 use irs_bench::fig5_6::Interference;
 use irs_bench::Opts;
@@ -20,12 +24,12 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures <experiment>... [--seeds N] [--base-seed S] [--quick] [--csv DIR]\n\
+        "usage: figures <experiment>... [--seeds N] [--base-seed S] [--jobs N] [--quick] [--csv DIR]\n\
          experiments: fig1a fig1b fig2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13\n\
          \u{20}            fairness sa_stats stacking_baseline\n\
          \u{20}            ablate_pingpong ablate_idle_first ablate_sa_delay ablate_pull\n\
          \u{20}            ablate_slice ablate_pv_spin ablate_strict_co io_latency\n\
-         \u{20}            core all"
+         \u{20}            perf core all"
     );
     std::process::exit(2);
 }
@@ -103,6 +107,13 @@ fn main() {
                 let n = it.next().unwrap_or_else(|| usage());
                 opts.base_seed = n.parse().unwrap_or_else(|_| usage());
             }
+            "--jobs" => {
+                let n = it.next().unwrap_or_else(|| usage());
+                opts.jobs = n.parse().unwrap_or_else(|_| usage());
+                // Helpers that take no Opts (and `opts.jobs == 0` call
+                // sites) resolve through the process default.
+                irs_core::parallel::set_default_jobs(opts.jobs);
+            }
             "--csv" => {
                 csv_dir = Some(it.next().unwrap_or_else(|| usage()));
             }
@@ -145,6 +156,17 @@ fn main() {
 
     for exp in queue {
         let start = Instant::now();
+        if exp == "perf" {
+            let report = irs_bench::perf::perf(opts);
+            print!("{}", report.render());
+            if let Err(e) = std::fs::write("BENCH_runner.json", report.to_json()) {
+                eprintln!("cannot write BENCH_runner.json: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("[perf done in {:.1}s]", start.elapsed().as_secs_f64());
+            println!();
+            continue;
+        }
         let tables = run_experiment(&exp, opts);
         for (i, table) in tables.iter().enumerate() {
             print!("{table}");

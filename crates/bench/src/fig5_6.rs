@@ -2,8 +2,9 @@
 //! Xen/Linux, for {1, 2, 4} interfered vCPUs × {PLE, Relaxed-Co, IRS},
 //! under micro-benchmark or real-application interference.
 
-use crate::{improvement_over_vanilla, Opts, STRATEGIES};
-use irs_core::Scenario;
+use crate::{Opts, STRATEGIES};
+use irs_core::runner::{grid_mean_makespans, ScenarioFn};
+use irs_core::{Scenario, Strategy};
 use irs_metrics::{Series, Table};
 use irs_workloads::presets;
 
@@ -49,15 +50,33 @@ pub fn improvement_panel(
     inter: Interference,
     opts: Opts,
 ) -> Table {
-    let mut table = Table::new(format!("{title} ({})", inter.label()));
+    // Every (n_inter × {Vanilla + strategy} × bench) cell of the panel is
+    // an independent seeded mean, so all of them go to the worker pool as
+    // one grid — a single panel saturates a wide host instead of fanning
+    // out one data point at a time. The vanilla baselines ride along as
+    // the first row of each n_inter block.
+    let nb = benches.len();
+    let mut ctors = Vec::new();
     for n_inter in [1usize, 2, 4] {
-        for strategy in STRATEGIES {
-            let mut series = Series::new(format!("{n_inter}-inter. {strategy}"));
+        for strategy in std::iter::once(Strategy::Vanilla).chain(STRATEGIES) {
             for &bench in benches {
-                let imp = improvement_over_vanilla(opts, strategy, |strat, seed| {
-                    scenario(bench, inter, n_inter, strat, seed)
-                });
-                series.point(bench, imp);
+                ctors.push(move |seed| scenario(bench, inter, n_inter, strategy, seed));
+            }
+        }
+    }
+    let refs: Vec<ScenarioFn<'_>> = ctors.iter().map(|c| c as ScenarioFn<'_>).collect();
+    let means = grid_mean_makespans(opts.base_seed, opts.seeds, opts.jobs, &refs);
+
+    let mut table = Table::new(format!("{title} ({})", inter.label()));
+    let block = (1 + STRATEGIES.len()) * nb;
+    for (gi, n_inter) in [1usize, 2, 4].into_iter().enumerate() {
+        let base = gi * block;
+        for (si, strategy) in STRATEGIES.into_iter().enumerate() {
+            let mut series = Series::new(format!("{n_inter}-inter. {strategy}"));
+            for (bi, &bench) in benches.iter().enumerate() {
+                let vanilla = means[base + bi];
+                let variant = means[base + (si + 1) * nb + bi];
+                series.point(bench, irs_metrics::improvement_pct(vanilla, variant));
             }
             table.add(series);
         }

@@ -22,9 +22,9 @@ pub mod fig8;
 pub mod fig10_11;
 pub mod fig12_13;
 pub mod io_latency;
+pub mod perf;
 
-use irs_core::{Scenario, Strategy};
-use irs_metrics::Summary;
+use irs_core::{runner, Scenario, Strategy};
 
 /// Repetition options shared by every figure function.
 #[derive(Debug, Clone, Copy)]
@@ -33,6 +33,10 @@ pub struct Opts {
     pub seeds: u64,
     /// First seed; repetition `i` uses `base_seed + i`.
     pub base_seed: u64,
+    /// Worker threads for the run fan-out; `0` means the process default
+    /// (`--jobs` flag, else all available cores). Any value produces
+    /// identical tables — see [`irs_core::parallel`].
+    pub jobs: usize,
 }
 
 impl Default for Opts {
@@ -40,6 +44,7 @@ impl Default for Opts {
         Opts {
             seeds: 3,
             base_seed: 1,
+            jobs: 0,
         }
     }
 }
@@ -50,6 +55,7 @@ impl Opts {
         Opts {
             seeds: 1,
             base_seed: 1,
+            jobs: 0,
         }
     }
 }
@@ -57,23 +63,25 @@ impl Opts {
 /// Mean makespan (ms) of the measured VM for `make(seed)` over the seeds.
 pub fn mean_makespan_ms<F>(opts: Opts, make: F) -> f64
 where
-    F: Fn(u64) -> Scenario,
+    F: Fn(u64) -> Scenario + Sync,
 {
-    let samples: Vec<f64> = (0..opts.seeds)
-        .map(|i| make(opts.base_seed + i).run().measured().makespan_ms())
-        .collect();
-    Summary::of(&samples).mean
+    runner::mean_makespan_ms_jobs(opts.base_seed, opts.seeds, opts.jobs, make)
 }
 
 /// Mean improvement (%) of `strategy` over vanilla for the same scenario
-/// constructor — the y-axis of Figs 5, 6, 10, 11, 12, 13.
+/// constructor — the y-axis of Figs 5, 6, 10, 11, 12, 13. Baseline and
+/// variant repetitions share one parallel fan-out.
 pub fn improvement_over_vanilla<F>(opts: Opts, strategy: Strategy, make: F) -> f64
 where
-    F: Fn(Strategy, u64) -> Scenario,
+    F: Fn(Strategy, u64) -> Scenario + Sync,
 {
-    let base = mean_makespan_ms(opts, |s| make(Strategy::Vanilla, s));
-    let var = mean_makespan_ms(opts, |s| make(strategy, s));
-    irs_metrics::improvement_pct(base, var)
+    runner::mean_improvement_pct_jobs(
+        opts.base_seed,
+        opts.seeds,
+        opts.jobs,
+        |s| make(Strategy::Vanilla, s),
+        |s| make(strategy, s),
+    )
 }
 
 /// The strategy columns the paper's grouped bar charts use.

@@ -1,0 +1,193 @@
+//! `figures perf` — self-benchmark of the simulation engine.
+//!
+//! Runs a fixed mix of scenarios twice — once sequentially (`jobs = 1`)
+//! and once at the requested worker count — and reports wall-clock,
+//! speedup, and events/sec, plus a micro-benchmark of the event-queue
+//! hot path. The engine is deterministic, so the two passes perform the
+//! same work; only wall-clock differs.
+//!
+//! The report serializes to `BENCH_runner.json`; `scripts/verify.sh`
+//! fills in the trailing `verify_wall_s` field.
+
+use crate::Opts;
+use irs_core::{parallel, Scenario, Strategy};
+use irs_sim::{EventQueue, SimTime};
+use std::time::Instant;
+
+/// Wall-clock and throughput numbers from one [`perf`] run.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// Independent simulation runs in the timed mix.
+    pub runs: usize,
+    /// Discrete events processed across the mix (same for both passes).
+    pub events: u64,
+    /// Wall-clock of the sequential pass, seconds.
+    pub sequential_wall_s: f64,
+    /// Wall-clock of the parallel pass, seconds.
+    pub parallel_wall_s: f64,
+    /// Worker count the parallel pass ran with.
+    pub parallel_jobs: usize,
+    /// Event-queue micro-benchmark: schedule/cancel/pop operations per
+    /// second under a churn pattern that keeps the slab and tombstone
+    /// machinery hot.
+    pub queue_ops_per_sec: f64,
+}
+
+impl PerfReport {
+    /// Sequential-pass throughput in simulation events per second.
+    pub fn sequential_events_per_sec(&self) -> f64 {
+        self.events as f64 / self.sequential_wall_s.max(1e-9)
+    }
+
+    /// Parallel-pass throughput in simulation events per second.
+    pub fn parallel_events_per_sec(&self) -> f64 {
+        self.events as f64 / self.parallel_wall_s.max(1e-9)
+    }
+
+    /// Sequential wall-clock over parallel wall-clock.
+    pub fn speedup(&self) -> f64 {
+        self.sequential_wall_s / self.parallel_wall_s.max(1e-9)
+    }
+
+    /// The `BENCH_runner.json` payload. `verify_wall_s` is emitted null;
+    /// `scripts/verify.sh` substitutes the measured value.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"runs\": {},\n  \"events\": {},\n  \"sequential_wall_s\": {:.6},\n  \
+             \"parallel_wall_s\": {:.6},\n  \"parallel_jobs\": {},\n  \"speedup\": {:.3},\n  \
+             \"sequential_events_per_sec\": {:.0},\n  \"parallel_events_per_sec\": {:.0},\n  \
+             \"queue_ops_per_sec\": {:.0},\n  \"verify_wall_s\": null\n}}\n",
+            self.runs,
+            self.events,
+            self.sequential_wall_s,
+            self.parallel_wall_s,
+            self.parallel_jobs,
+            self.speedup(),
+            self.sequential_events_per_sec(),
+            self.parallel_events_per_sec(),
+            self.queue_ops_per_sec,
+        )
+    }
+
+    /// Human-readable summary (what the `perf` subcommand prints).
+    pub fn render(&self) -> String {
+        format!(
+            "engine self-benchmark ({} runs, {} events)\n\
+             \u{20} sequential: {:>8.3} s  ({:.0} events/s)\n\
+             \u{20} {:>2} workers: {:>8.3} s  ({:.0} events/s, {:.2}x)\n\
+             \u{20} event queue: {:.2}M ops/s (schedule/cancel/pop churn)\n",
+            self.runs,
+            self.events,
+            self.sequential_wall_s,
+            self.sequential_events_per_sec(),
+            self.parallel_jobs,
+            self.parallel_wall_s,
+            self.parallel_events_per_sec(),
+            self.speedup(),
+            self.queue_ops_per_sec / 1e6,
+        )
+    }
+}
+
+/// The fixed scenario mix: a spread of cheap and mid-weight benchmarks
+/// across strategies, so both guest layers and all three hypervisor
+/// schedulers appear in the profile.
+const MIX: [(&str, usize, Strategy); 6] = [
+    ("EP", 1, Strategy::Vanilla),
+    ("EP", 2, Strategy::Irs),
+    ("blackscholes", 1, Strategy::Ple),
+    ("streamcluster", 1, Strategy::Irs),
+    ("LU", 1, Strategy::RelaxedCo),
+    ("swaptions", 2, Strategy::Irs),
+];
+
+/// Times the mix sequentially and at `opts.jobs` workers and returns the
+/// combined report. `opts.seeds` repetitions per mix entry.
+pub fn perf(opts: Opts) -> PerfReport {
+    let per = opts.seeds.max(1) as usize;
+    let runs = MIX.len() * per;
+    let job = |i: usize| {
+        let (bench, n_inter, strategy) = MIX[i / per];
+        let seed = opts.base_seed + (i % per) as u64;
+        Scenario::fig5_style(bench, n_inter, strategy, seed).run()
+    };
+
+    let t0 = Instant::now();
+    let sequential = parallel::ordered_map(1, runs, job);
+    let sequential_wall_s = t0.elapsed().as_secs_f64();
+    let events: u64 = sequential.iter().map(|r| r.events).sum();
+
+    let parallel_jobs = parallel::resolve_jobs(opts.jobs);
+    let t1 = Instant::now();
+    let par = parallel::ordered_map(parallel_jobs, runs, job);
+    let parallel_wall_s = t1.elapsed().as_secs_f64();
+    let par_events: u64 = par.iter().map(|r| r.events).sum();
+    assert_eq!(events, par_events, "parallel pass diverged from sequential");
+
+    PerfReport {
+        runs,
+        events,
+        sequential_wall_s,
+        parallel_wall_s,
+        parallel_jobs,
+        queue_ops_per_sec: queue_ops_per_sec(),
+    }
+}
+
+/// Micro-benchmark of [`EventQueue`]: interleaved schedule / cancel / pop
+/// with out-of-order timestamps, so the heap, the id slab, and tombstone
+/// reclamation all stay on the measured path.
+fn queue_ops_per_sec() -> f64 {
+    const TARGET_OPS: u64 = 1_000_000;
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut ids = Vec::new();
+    let mut k = 0u64;
+    let mut ops = 0u64;
+    let t0 = Instant::now();
+    while ops < TARGET_OPS {
+        for _ in 0..3 {
+            k += 1;
+            // Pseudo-random-ish timestamps keep the heap unsorted on insert.
+            let at = SimTime::from_nanos(k.wrapping_mul(0x9e37_79b9) % 1_000_000);
+            ids.push(q.schedule(at, k));
+        }
+        if let Some(id) = ids.pop() {
+            q.cancel(id);
+        }
+        q.pop();
+        ops += 5;
+    }
+    while q.pop().is_some() {
+        ops += 1;
+    }
+    ops as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_to_json() {
+        let r = PerfReport {
+            runs: 12,
+            events: 3456,
+            sequential_wall_s: 2.0,
+            parallel_wall_s: 1.0,
+            parallel_jobs: 4,
+            queue_ops_per_sec: 1e6,
+        };
+        let json = r.to_json();
+        assert!(json.contains("\"runs\": 12"));
+        assert!(json.contains("\"speedup\": 2.000"));
+        assert!(json.trim_end().ends_with('}'));
+        assert!(json.contains("\"verify_wall_s\": null"));
+        assert!((r.speedup() - 2.0).abs() < 1e-9);
+        assert!((r.sequential_events_per_sec() - 1728.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn queue_microbench_reports_positive_throughput() {
+        assert!(queue_ops_per_sec() > 0.0);
+    }
+}

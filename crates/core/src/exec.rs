@@ -264,8 +264,10 @@ impl System {
                         d.completed_at = Some(self.now);
                     }
                     let vcpu = d.os.task(TaskId(task)).cpu;
-                    let views = self.views(vm);
-                    let acts = self.domains[vm].os.exit_current(vcpu, self.now, &views);
+                    self.fill_views(vm);
+                    let acts = self.domains[vm]
+                        .os
+                        .exit_current(vcpu, self.now, &self.view_buf);
                     self.apply_guest_actions(vm, acts);
                     return;
                 }
@@ -412,8 +414,8 @@ impl System {
 
     /// Wakes a blocked task through the guest's wakeup-balancing path.
     pub(crate) fn wake_task(&mut self, vm: usize, task: usize) {
-        let views = self.views(vm);
-        let acts = self.domains[vm].os.wake(TaskId(task), &views);
+        self.fill_views(vm);
+        let acts = self.domains[vm].os.wake(TaskId(task), &self.view_buf);
         self.apply_guest_actions(vm, acts);
     }
 
@@ -423,8 +425,10 @@ impl System {
     fn block_current_of(&mut self, vm: usize, task: usize) {
         let vcpu = self.domains[vm].os.task(TaskId(task)).cpu;
         debug_assert_eq!(self.domains[vm].os.current(vcpu), Some(TaskId(task)));
-        let views = self.views(vm);
-        let acts = self.domains[vm].os.block_current(vcpu, self.now, &views);
+        self.fill_views(vm);
+        let acts = self.domains[vm]
+            .os
+            .block_current(vcpu, self.now, &self.view_buf);
         self.apply_guest_actions(vm, acts);
     }
 }

@@ -53,6 +53,7 @@
 mod domain;
 mod events;
 mod exec;
+pub mod parallel;
 mod results;
 pub mod runner;
 mod scenario;

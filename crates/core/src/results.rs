@@ -16,6 +16,9 @@ pub struct RunResult {
     pub vms: Vec<VmResult>,
     /// Hypervisor scheduler counters.
     pub hv: HvStats,
+    /// Total discrete events processed — the denominator of the simulator's
+    /// own events/sec throughput metric (`figures perf`).
+    pub events: u64,
 }
 
 impl RunResult {
@@ -146,6 +149,7 @@ mod tests {
             elapsed: SimTime::from_secs(2),
             vms: vec![vm(false), vm(true)],
             hv: HvStats::default(),
+            events: 0,
         };
         assert!(r.measured().measured);
     }
@@ -157,6 +161,7 @@ mod tests {
             elapsed: SimTime::from_secs(2),
             vms: vec![vm(false)],
             hv: HvStats::default(),
+            events: 0,
         };
         r.measured();
     }

@@ -3,6 +3,7 @@
 //! The paper reports the average of (at least) five runs per data point;
 //! these helpers run a scenario constructor across seeds and aggregate.
 
+use crate::parallel;
 use crate::results::RunResult;
 use crate::scenario::Scenario;
 use irs_metrics::Summary;
@@ -10,13 +11,28 @@ use irs_metrics::Summary;
 /// Default repetition count, matching the paper's five-run averages.
 pub const DEFAULT_SEEDS: u64 = 5;
 
+/// A borrowed scenario constructor, the unit of work in a
+/// [`grid_mean_makespans`] batch.
+pub type ScenarioFn<'a> = &'a (dyn Fn(u64) -> Scenario + Sync);
+
 /// Runs `make(seed)` for `seeds` consecutive seeds starting at
-/// `base_seed`, returning every result.
+/// `base_seed`, returning every result in seed order.
+///
+/// Runs fan out across the process-default worker count (see
+/// [`parallel::default_jobs`]); results are identical to a sequential run.
 pub fn run_seeds<F>(base_seed: u64, seeds: u64, make: F) -> Vec<RunResult>
 where
-    F: Fn(u64) -> Scenario,
+    F: Fn(u64) -> Scenario + Sync,
 {
-    (0..seeds).map(|i| make(base_seed + i).run()).collect()
+    run_seeds_jobs(base_seed, seeds, 0, make)
+}
+
+/// [`run_seeds`] with an explicit worker count (`0` = process default).
+pub fn run_seeds_jobs<F>(base_seed: u64, seeds: u64, jobs: usize, make: F) -> Vec<RunResult>
+where
+    F: Fn(u64) -> Scenario + Sync,
+{
+    parallel::ordered_map(jobs, seeds as usize, |i| make(base_seed + i as u64).run())
 }
 
 /// Mean makespan (ms) of the measured VM across seeded repetitions.
@@ -26,25 +42,72 @@ where
 /// Panics if any repetition failed to complete within the horizon.
 pub fn mean_makespan_ms<F>(base_seed: u64, seeds: u64, make: F) -> f64
 where
-    F: Fn(u64) -> Scenario,
+    F: Fn(u64) -> Scenario + Sync,
 {
-    let samples: Vec<f64> = run_seeds(base_seed, seeds, make)
+    mean_makespan_ms_jobs(base_seed, seeds, 0, make)
+}
+
+/// [`mean_makespan_ms`] with an explicit worker count (`0` = default).
+pub fn mean_makespan_ms_jobs<F>(base_seed: u64, seeds: u64, jobs: usize, make: F) -> f64
+where
+    F: Fn(u64) -> Scenario + Sync,
+{
+    let samples: Vec<f64> = run_seeds_jobs(base_seed, seeds, jobs, make)
         .iter()
         .map(|r| r.measured().makespan_ms())
         .collect();
     Summary::of(&samples).mean
 }
 
+/// Mean makespans for a whole batch of scenario constructors in one
+/// fan-out: `makes.len() × seeds` independent runs share the worker pool,
+/// so narrow panels still saturate wide hosts.
+///
+/// Entry `k` of the result is the seed-averaged makespan of `makes[k]`
+/// (job order is constructor-major, seed-minor — canonical and therefore
+/// deterministic).
+pub fn grid_mean_makespans(
+    base_seed: u64,
+    seeds: u64,
+    jobs: usize,
+    makes: &[ScenarioFn<'_>],
+) -> Vec<f64> {
+    let per = seeds as usize;
+    let samples = parallel::ordered_map(jobs, makes.len() * per, |i| {
+        let make = makes[i / per];
+        make(base_seed + (i % per) as u64).run().measured().makespan_ms()
+    });
+    samples
+        .chunks(per.max(1))
+        .map(|chunk| Summary::of(chunk).mean)
+        .collect()
+}
+
 /// Mean improvement (%) of a variant over a baseline, both averaged over
 /// the same seeds — the y-axis of Figs 5, 6, 10, 11, 12, 13.
 pub fn mean_improvement_pct<B, V>(base_seed: u64, seeds: u64, baseline: B, variant: V) -> f64
 where
-    B: Fn(u64) -> Scenario,
-    V: Fn(u64) -> Scenario,
+    B: Fn(u64) -> Scenario + Sync,
+    V: Fn(u64) -> Scenario + Sync,
 {
-    let base = mean_makespan_ms(base_seed, seeds, baseline);
-    let var = mean_makespan_ms(base_seed, seeds, variant);
-    irs_metrics::improvement_pct(base, var)
+    mean_improvement_pct_jobs(base_seed, seeds, 0, baseline, variant)
+}
+
+/// [`mean_improvement_pct`] with an explicit worker count (`0` = default).
+/// Baseline and variant runs share one fan-out (2 × `seeds` jobs).
+pub fn mean_improvement_pct_jobs<B, V>(
+    base_seed: u64,
+    seeds: u64,
+    jobs: usize,
+    baseline: B,
+    variant: V,
+) -> f64
+where
+    B: Fn(u64) -> Scenario + Sync,
+    V: Fn(u64) -> Scenario + Sync,
+{
+    let means = grid_mean_makespans(base_seed, seeds, jobs, &[&baseline, &variant]);
+    irs_metrics::improvement_pct(means[0], means[1])
 }
 
 #[cfg(test)]
@@ -80,5 +143,14 @@ mod tests {
         let b = quick(2).run();
         // Jittered compute makes exact ties essentially impossible.
         assert_ne!(a.measured().makespan, b.measured().makespan);
+    }
+
+    #[test]
+    fn grid_matches_per_constructor_means() {
+        let irs = |seed| Scenario::fig5_style("EP", 1, Strategy::Irs, seed);
+        let grid = grid_mean_makespans(1, 2, 2, &[&quick, &irs]);
+        assert_eq!(grid.len(), 2);
+        assert_eq!(grid[0], mean_makespan_ms_jobs(1, 2, 1, quick));
+        assert_eq!(grid[1], mean_makespan_ms_jobs(1, 2, 1, irs));
     }
 }

@@ -76,6 +76,9 @@ pub struct System {
     stopped: bool,
     events_processed: u64,
     trace: irs_sim::trace::TraceRing,
+    /// Reusable per-vCPU view buffer: [`System::fill_views`] refills it in
+    /// place so the per-event dispatch loop allocates nothing.
+    pub(crate) view_buf: Vec<VcpuView>,
 }
 
 impl System {
@@ -192,6 +195,7 @@ impl System {
             stopped: false,
             events_processed: 0,
             trace,
+            view_buf: Vec::new(),
         };
         sys.boot();
         sys
@@ -465,8 +469,8 @@ impl System {
         }
         self.domains[vm].last_tick[vcpu] = self.now;
         self.sync_exec(vm, vcpu);
-        let views = self.views(vm);
-        let outcome = self.domains[vm].os.tick(vcpu, self.now, &views);
+        self.fill_views(vm);
+        let outcome = self.domains[vm].os.tick(vcpu, self.now, &self.view_buf);
         self.apply_guest_actions(vm, outcome.actions);
         if let Some(op) = outcome.sa_ack {
             // A pending SA upcall was processed at the tick (after the
@@ -514,8 +518,10 @@ impl System {
         // The preemptee kept running during the receiver/softirq delay;
         // charge that time before switching.
         self.sync_exec(vm, vcpu);
-        let views = self.views(vm);
-        let outcome = self.domains[vm].os.process_softirqs(vcpu, self.now, &views);
+        self.fill_views(vm);
+        let outcome = self.domains[vm]
+            .os
+            .process_softirqs(vcpu, self.now, &self.view_buf);
         self.apply_guest_actions(vm, outcome.actions);
         if let Some(op) = outcome.sa_ack {
             let now = self.now;
@@ -528,8 +534,8 @@ impl System {
 
     fn on_migrator_run(&mut self, vm: usize) {
         self.domains[vm].migrator_armed = false;
-        let views = self.views(vm);
-        let acts = self.domains[vm].os.migrator_run(&views);
+        self.fill_views(vm);
+        let acts = self.domains[vm].os.migrator_run(&self.view_buf);
         self.apply_guest_actions(vm, acts);
     }
 
@@ -597,8 +603,8 @@ impl System {
     // action interpreters
     // ==================================================================
 
-    pub(crate) fn apply_hv_actions(&mut self, acts: Vec<HvAction>) {
-        for act in acts {
+    pub(crate) fn apply_hv_actions(&mut self, mut acts: Vec<HvAction>) {
+        for act in acts.drain(..) {
             let now = self.now;
             self.trace.record(now, "xen", || act.to_string());
             match act {
@@ -663,6 +669,7 @@ impl System {
                 HvAction::DeliverVirq { .. } | HvAction::PcpuIdle { .. } => {}
             }
         }
+        self.hv.recycle_actions(acts);
     }
 
     fn on_vcpu_started(&mut self, v: VcpuRef) {
@@ -684,8 +691,8 @@ impl System {
         if self.domains[vm].os.current(vcpu).is_none() {
             // Nothing local: idle balancing may pull from a busy sibling
             // (the receiving end of the guest's nohz kick).
-            let views = self.views(vm);
-            let acts = self.domains[vm].os.idle_balance(vcpu, &views);
+            self.fill_views(vm);
+            let acts = self.domains[vm].os.idle_balance(vcpu, &self.view_buf);
             self.apply_guest_actions(vm, acts);
         }
         if self.domains[vm].os.current(vcpu).is_some() {
@@ -729,8 +736,8 @@ impl System {
         }
     }
 
-    pub(crate) fn apply_guest_actions(&mut self, vm: usize, acts: Vec<GuestAction>) {
-        for act in acts {
+    pub(crate) fn apply_guest_actions(&mut self, vm: usize, mut acts: Vec<GuestAction>) {
+        for act in acts.drain(..) {
             let now = self.now;
             self.trace.record(now, "guest", || format!("vm{vm}: {act}"));
             match act {
@@ -790,6 +797,7 @@ impl System {
                 }
             }
         }
+        self.domains[vm].os.recycle_actions(acts);
     }
 
     /// The §6 pull oracle: an idling vCPU yanks a stranded "running" task
@@ -837,20 +845,21 @@ impl System {
         }
     }
 
-    /// Builds the guest-visible per-vCPU views (runstate + steal EWMA).
-    pub(crate) fn views(&mut self, vm: usize) -> Vec<VcpuView> {
+    /// Refills [`System::view_buf`] with the guest-visible per-vCPU views
+    /// (runstate + steal EWMA) for `vm`. In-place so the hot dispatch loop
+    /// never allocates; callers borrow `self.view_buf` right after.
+    pub(crate) fn fill_views(&mut self, vm: usize) {
         let n = self.domains[vm].os.n_vcpus();
-        (0..n)
-            .map(|i| {
-                let v = VcpuRef::new(irs_xen::VmId(vm), i);
-                let info = self.hv.runstate(v, self.now);
-                let frac = self.domains[vm].steal[i].update(&info);
-                VcpuView {
-                    state: info.state,
-                    steal_frac: frac,
-                }
-            })
-            .collect()
+        self.view_buf.clear();
+        for i in 0..n {
+            let v = VcpuRef::new(irs_xen::VmId(vm), i);
+            let info = self.hv.runstate(v, self.now);
+            let frac = self.domains[vm].steal[i].update(&info);
+            self.view_buf.push(VcpuView {
+                state: info.state,
+                steal_frac: frac,
+            });
+        }
     }
 
     // ==================================================================
@@ -883,6 +892,11 @@ impl System {
                 }
             })
             .collect();
-        RunResult { elapsed, vms, hv }
+        RunResult {
+            elapsed,
+            vms,
+            hv,
+            events: self.events_processed,
+        }
     }
 }

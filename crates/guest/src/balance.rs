@@ -32,7 +32,7 @@ impl GuestOs {
     ///
     /// Waking a task that is not blocked is a no-op (spurious wake).
     pub fn wake(&mut self, task: TaskId, views: &[VcpuView]) -> Vec<GuestAction> {
-        let mut out = Vec::new();
+        let mut out = self.out_buf();
         if self.tasks[task.0].state != TaskState::Blocked {
             return out;
         }
@@ -250,7 +250,7 @@ impl GuestOs {
     /// Returns actions for an immediate (queued-task) migration; `None`-like
     /// empty actions mean the stopper was parked.
     pub fn request_stop_migration(&mut self, task: TaskId, dest: usize) -> Vec<GuestAction> {
-        let mut out = Vec::new();
+        let mut out = self.out_buf();
         match self.tasks[task.0].state {
             TaskState::Ready => {
                 if self.tasks[task.0].in_custody {

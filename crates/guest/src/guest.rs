@@ -32,6 +32,10 @@ pub struct GuestOs {
     /// Stopper-thread requests, keyed by source vCPU at execution time.
     pub(crate) stopper_pending: Vec<StopRequest>,
     pub(crate) stats: GuestStats,
+    /// Recycled action buffers — public entry points pop one instead of
+    /// allocating, and the embedder hands drained buffers back via
+    /// [`GuestOs::recycle_actions`].
+    pub(crate) spare_bufs: Vec<Vec<GuestAction>>,
     /// Pending softirq bits per vCPU (see [`crate::softirq`]).
     softirq_pending: Vec<u8>,
     tick_counts: Vec<u64>,
@@ -53,9 +57,25 @@ impl GuestOs {
             migrator_pending: VecDeque::new(),
             stopper_pending: Vec::new(),
             stats: GuestStats::default(),
+            spare_bufs: Vec::new(),
             softirq_pending: vec![0; n_vcpus],
             tick_counts: vec![0; n_vcpus],
             started: false,
+        }
+    }
+
+    /// Pops a recycled action buffer (or allocates a fresh one).
+    pub(crate) fn out_buf(&mut self) -> Vec<GuestAction> {
+        self.spare_bufs.pop().unwrap_or_default()
+    }
+
+    /// Returns a drained action buffer to the pool so the next entry point
+    /// can reuse its capacity instead of allocating. The pool is bounded;
+    /// surplus buffers are simply dropped.
+    pub fn recycle_actions(&mut self, mut buf: Vec<GuestAction>) {
+        if self.spare_bufs.len() < 16 {
+            buf.clear();
+            self.spare_bufs.push(buf);
         }
     }
 
@@ -89,7 +109,7 @@ impl GuestOs {
     pub fn start(&mut self, _now: SimTime) -> Vec<GuestAction> {
         assert!(!self.started, "start() must be called exactly once");
         self.started = true;
-        let mut out = Vec::new();
+        let mut out = self.out_buf();
         for v in 0..self.rqs.len() {
             if self.rqs[v].is_idle() {
                 self.stats.idle_blocks += 1;
@@ -213,7 +233,7 @@ impl GuestOs {
     /// from the busiest queue and start the pulled task (the receiving end
     /// of the nohz kick).
     pub fn idle_balance(&mut self, vcpu: usize, views: &[VcpuView]) -> Vec<GuestAction> {
-        let mut out = Vec::new();
+        let mut out = self.out_buf();
         if self.rqs[vcpu].current.is_some() {
             return out;
         }
@@ -260,7 +280,7 @@ impl GuestOs {
         now: SimTime,
         views: &[VcpuView],
     ) -> Vec<GuestAction> {
-        let mut out = Vec::new();
+        let mut out = self.out_buf();
         if self.rqs[vcpu].current.is_none() {
             return out;
         }
@@ -277,7 +297,7 @@ impl GuestOs {
         now: SimTime,
         views: &[VcpuView],
     ) -> Vec<GuestAction> {
-        let mut out = Vec::new();
+        let mut out = self.out_buf();
         if self.rqs[vcpu].current.is_none() {
             return out;
         }
@@ -333,7 +353,7 @@ impl GuestOs {
     /// Called when the hypervisor (re)starts a vCPU the guest had idled:
     /// picks a current task if work arrived in the meantime.
     pub fn ensure_current(&mut self, vcpu: usize) -> Vec<GuestAction> {
-        let mut out = Vec::new();
+        let mut out = self.out_buf();
         if self.rqs[vcpu].current.is_none() && self.rqs[vcpu].leftmost().is_some() {
             self.pick_and_run(vcpu, &mut out);
         }

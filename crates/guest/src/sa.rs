@@ -103,7 +103,7 @@ impl GuestOs {
     /// `views[v]` must reflect vCPU `v`'s actual hypervisor runstate and
     /// recent steal fraction at the time of the call.
     pub fn migrator_run(&mut self, views: &[VcpuView]) -> Vec<GuestAction> {
-        let mut out = Vec::new();
+        let mut out = self.out_buf();
         while let Some(task) = self.migrator_pending.pop_front() {
             if !self.tasks[task.0].in_custody || self.tasks[task.0].state != TaskState::Ready {
                 continue; // re-blocked, re-woken, or exited in the meantime
@@ -169,7 +169,7 @@ impl GuestOs {
     ///
     /// Panics if `src` has no current task or `dst` is not idle.
     pub fn pull_running(&mut self, dst: usize, src: usize) -> Vec<GuestAction> {
-        let mut out = Vec::new();
+        let mut out = self.out_buf();
         assert!(self.rqs[dst].current.is_none(), "pull target must be idle");
         let cur = self.rqs[src]
             .current

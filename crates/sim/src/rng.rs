@@ -4,9 +4,13 @@
 //! (mirroring the paper's 5-run averages). All stochastic choices — compute
 //! jitter, request inter-arrival times, service demands — flow through
 //! [`SimRng`] so a `(scenario, seed)` pair fully determines the outcome.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ (public-domain algorithm
+//! by Blackman & Vigna) seeded through SplitMix64, so the simulation kernel
+//! has no external dependencies and builds on air-gapped hosts. Parallel
+//! experiment runs each construct their own `SimRng` from the scenario seed,
+//! which is what makes the fan-out engine in `irs-core` deterministic
+//! regardless of worker count.
 
 /// A seedable random source with the distributions used by workload models.
 ///
@@ -21,14 +25,29 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    s: [u64; 4],
+}
+
+/// SplitMix64 step: expands a 64-bit seed into decorrelated state words.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates an RNG from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
         SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
     }
 
@@ -37,7 +56,7 @@ impl SimRng {
     pub fn fork(&mut self, salt: u64) -> SimRng {
         // SplitMix-style mixing keeps child streams decorrelated even for
         // consecutive salts.
-        let mut z = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         SimRng::seed_from(z ^ (z >> 31))
@@ -50,12 +69,17 @@ impl SimRng {
     /// Panics if `lo > hi`.
     pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi, "uniform_u64 range is inverted: {lo} > {hi}");
-        self.inner.gen_range(lo..=hi)
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.bounded(span + 1)
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn unit_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits scaled into [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A value drawn from `mean` with multiplicative jitter of ±`jitter`
@@ -97,12 +121,41 @@ impl SimRng {
     /// Panics if `len == 0`.
     pub fn index(&mut self, len: usize) -> usize {
         assert!(len > 0, "cannot pick an index from an empty collection");
-        self.inner.gen_range(0..len)
+        self.bounded(len as u64) as usize
     }
 
-    /// Raw 64-bit draw.
+    /// Raw 64-bit draw (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Unbiased draw in `[0, bound)` via Lemire's multiply-shift with a
+    /// rejection fix-up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    fn bounded(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let low = m as u64;
+            if low >= bound || low >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
     }
 }
 
@@ -149,6 +202,8 @@ mod tests {
             assert!((10..=20).contains(&v));
         }
         assert_eq!(rng.uniform_u64(7, 7), 7);
+        // Degenerate full-range draw must not overflow.
+        let _ = rng.uniform_u64(0, u64::MAX);
     }
 
     #[test]
@@ -186,5 +241,17 @@ mod tests {
         for _ in 0..100 {
             assert!(rng.index(3) < 3);
         }
+    }
+
+    #[test]
+    fn unit_f64_is_in_range_and_varied() {
+        let mut rng = SimRng::seed_from(7);
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let u = rng.unit_f64();
+            assert!((0.0..1.0).contains(&u));
+            distinct.insert(u.to_bits());
+        }
+        assert!(distinct.len() > 990, "draws should rarely collide");
     }
 }

@@ -2,8 +2,106 @@
 //! order over (time, insertion sequence), with cancellation removing exactly
 //! the cancelled entries.
 
-use irs_sim::{EventQueue, SimTime};
+use irs_sim::{EventQueue, EventId, SimTime};
 use proptest::prelude::*;
+
+/// Reference model with the pre-refactor queue's observable semantics: a
+/// flat list popped by minimum `(time, insertion sequence)`, with
+/// cancellation removing exactly one pending entry. The real queue
+/// (inline-payload heap + generation slab) must be indistinguishable
+/// from this under any operation interleaving.
+#[derive(Default)]
+struct ModelQueue {
+    pending: Vec<(u64, u64, u32)>, // (time, seq, payload)
+    next_seq: u64,
+}
+
+impl ModelQueue {
+    fn schedule(&mut self, at: u64, payload: u32) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.push((at, seq, payload));
+        seq
+    }
+
+    fn cancel(&mut self, seq: u64) -> bool {
+        match self.pending.iter().position(|e| e.1 == seq) {
+            Some(i) => {
+                self.pending.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn pop(&mut self) -> Option<(u64, u32)> {
+        let i = (0..self.pending.len()).min_by_key(|&i| (self.pending[i].0, self.pending[i].1))?;
+        let (at, _, payload) = self.pending.remove(i);
+        Some((at, payload))
+    }
+
+    fn peek_time(&self) -> Option<u64> {
+        self.pending.iter().map(|e| e.0).min()
+    }
+}
+
+/// One step of the equivalence-test interleaving: `(op, a, b)` where
+/// `op % 4` selects schedule/cancel/pop/peek, `a` picks a time bucket, and
+/// `b` picks which outstanding handle a cancel targets.
+fn step_strategy() -> impl Strategy<Value = (u8, u64, u8)> {
+    (0u8..4, 0u64..50, 0u8..255).prop_map(|(op, a, b)| (op, a, b))
+}
+
+proptest! {
+    /// The rewritten queue is observationally equivalent to the old
+    /// semantics (time order + FIFO ties + cancellation) under arbitrary
+    /// interleavings of schedule / cancel / pop / peek.
+    #[test]
+    fn queue_matches_reference_model(ops in prop::collection::vec(step_strategy(), 1..400)) {
+        let mut real = EventQueue::new();
+        let mut model = ModelQueue::default();
+        // Parallel vectors: handle i in one maps to handle i in the other.
+        let mut real_ids: Vec<EventId> = Vec::new();
+        let mut model_ids: Vec<u64> = Vec::new();
+        let mut payload = 0u32;
+        for (op, a, b) in ops {
+            match op {
+                0 => {
+                    // Times repeat heavily (mod 50) to exercise FIFO ties.
+                    real_ids.push(real.schedule(SimTime::from_nanos(a), payload));
+                    model_ids.push(model.schedule(a, payload));
+                    payload += 1;
+                }
+                1 => {
+                    if !real_ids.is_empty() {
+                        // Deliberately includes already-cancelled/popped
+                        // handles: outcomes must agree for those too.
+                        let i = b as usize % real_ids.len();
+                        prop_assert_eq!(real.cancel(real_ids[i]), model.cancel(model_ids[i]));
+                    }
+                }
+                2 => {
+                    let got = real.pop().map(|(t, p)| (t.as_nanos(), p));
+                    prop_assert_eq!(got, model.pop());
+                }
+                _ => {
+                    prop_assert_eq!(real.peek_time().map(|t| t.as_nanos()), model.peek_time());
+                }
+            }
+            prop_assert_eq!(real.len(), model.pending.len());
+            prop_assert_eq!(real.is_empty(), model.pending.is_empty());
+        }
+        // Drain: the tails must match exactly.
+        loop {
+            let got = real.pop().map(|(t, p)| (t.as_nanos(), p));
+            let want = model.pop();
+            prop_assert_eq!(got, want);
+            if got.is_none() {
+                break;
+            }
+        }
+    }
+}
 
 proptest! {
     /// Popping yields events in nondecreasing time order, FIFO among ties.

@@ -48,7 +48,7 @@ impl Hypervisor {
     /// period), expires BOOST priorities of vCPUs caught running, and
     /// preempts where a queued vCPU now outranks the runner.
     pub fn tick(&mut self, now: SimTime) -> Vec<HvAction> {
-        let mut out = Vec::new();
+        let mut out = self.out_buf();
         let tick_ns = self.cfg.tick_period.as_nanos().max(1);
         for vm in 0..self.vcpus.len() {
             for idx in 0..self.vcpus[vm].len() {
@@ -80,7 +80,7 @@ impl Hypervisor {
     /// recompute priorities, run relaxed-co skew balancing if configured,
     /// and preempt where priorities changed.
     pub fn accounting(&mut self, now: SimTime) -> Vec<HvAction> {
-        let mut out = Vec::new();
+        let mut out = self.out_buf();
         // Xen distributes a domain's share among its *active* vCPUs: those
         // that want CPU, plus blocked vCPUs still paying off a credit debt
         // (they stay on the active list until their balance recovers, which
@@ -152,7 +152,7 @@ impl Hypervisor {
         generation: u64,
         now: SimTime,
     ) -> Vec<HvAction> {
-        let mut out = Vec::new();
+        let mut out = self.out_buf();
         if self.pcpus[pcpu.0].dispatch_gen != generation {
             return out; // a context switch beat the timer
         }
@@ -165,7 +165,7 @@ impl Hypervisor {
     ///
     /// Waking a non-blocked vCPU is a harmless no-op (spurious wake).
     pub fn vcpu_wake(&mut self, v: VcpuRef, now: SimTime) -> Vec<HvAction> {
-        let mut out = Vec::new();
+        let mut out = self.out_buf();
         if self.vc(v).state() != RunState::Blocked {
             return out;
         }
@@ -222,7 +222,7 @@ impl Hypervisor {
     /// 15): if an SA round is pending on `v`, it is completed first and the
     /// deferred preemption then proceeds under the requested operation.
     pub fn sched_op(&mut self, v: VcpuRef, op: SchedOp, now: SimTime) -> Vec<HvAction> {
-        let mut out = Vec::new();
+        let mut out = self.out_buf();
         let home = self.vc(v).home;
         let was_sa = self.vc(v).sa_pending && self.pcpus[home.0].sa_wait == Some(v);
         if was_sa {
@@ -259,7 +259,7 @@ impl Hypervisor {
     ///
     /// No-op unless PLE is configured and `v` is currently running.
     pub fn ple_exit(&mut self, v: VcpuRef, now: SimTime) -> Vec<HvAction> {
-        let mut out = Vec::new();
+        let mut out = self.out_buf();
         if self.cfg.ple.is_none() {
             return out;
         }

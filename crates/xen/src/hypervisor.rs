@@ -30,6 +30,11 @@ pub struct Hypervisor {
     pub(crate) started: bool,
     /// The VM currently holding the gang slot (strict co-scheduling only).
     pub(crate) gang_current: Option<VmId>,
+    /// Recycled action buffers: every public entry point starts from one of
+    /// these (via [`Hypervisor::out_buf`]) and the driver hands the drained
+    /// `Vec` back through [`Hypervisor::recycle_actions`], so steady-state
+    /// scheduling decisions allocate nothing.
+    pub(crate) spare_bufs: Vec<Vec<HvAction>>,
 }
 
 impl Hypervisor {
@@ -49,6 +54,27 @@ impl Hypervisor {
             queue_seq: 0,
             started: false,
             gang_current: None,
+            spare_bufs: Vec::new(),
+        }
+    }
+
+    /// Takes an empty action buffer from the recycle pool (or allocates the
+    /// first few times). Pair with [`Hypervisor::recycle_actions`].
+    pub(crate) fn out_buf(&mut self) -> Vec<HvAction> {
+        self.spare_bufs.pop().unwrap_or_default()
+    }
+
+    /// Returns a drained action buffer to the recycle pool. Callers that
+    /// consume a `Vec<HvAction>` (e.g. the `irs-core` dispatch loop) call
+    /// this to keep the schedule→apply hot path allocation-free; dropping
+    /// the buffer instead is always safe, just slower.
+    pub fn recycle_actions(&mut self, mut buf: Vec<HvAction>) {
+        // Nested scheduling (an action application re-entering the
+        // hypervisor) keeps a handful of buffers alive at once; a small cap
+        // bounds pool growth if a caller recycles foreign buffers.
+        if self.spare_bufs.len() < 16 {
+            buf.clear();
+            self.spare_bufs.push(buf);
         }
     }
 
@@ -143,7 +169,7 @@ impl Hypervisor {
             let home = self.vc(vref).home;
             self.enqueue(vref, home);
         }
-        let mut out = Vec::new();
+        let mut out = self.out_buf();
         for p in 0..self.pcpus.len() {
             self.do_schedule(
                 PcpuId(p),

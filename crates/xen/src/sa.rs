@@ -64,7 +64,7 @@ impl Hypervisor {
     /// round started) is ignored. The wedged vCPU is forced off the pCPU
     /// with yield semantics — it stays runnable but loses the CPU.
     pub fn sa_timeout(&mut self, vcpu: VcpuRef, generation: u64, now: SimTime) -> Vec<HvAction> {
-        let mut out = Vec::new();
+        let mut out = self.out_buf();
         {
             let vc = self.vc(vcpu);
             if !vc.sa_pending || vc.sa_gen != generation {

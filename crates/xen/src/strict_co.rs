@@ -44,7 +44,7 @@ impl Hypervisor {
     /// Panics if strict co-scheduling is not configured.
     pub fn gang_rotate(&mut self, now: SimTime) -> Vec<HvAction> {
         assert!(self.cfg.strict_co, "gang_rotate requires strict_co mode");
-        let mut out = Vec::new();
+        let mut out = self.out_buf();
         let n_vms = self.vms.len();
         if n_vms == 0 {
             return out;

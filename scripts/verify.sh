@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 verification: release build, full test suite, and a parallel-runner
+# smoke test. Also regenerates BENCH_runner.json (via `figures perf`) and
+# records the total verification wall-clock in its `verify_wall_s` field.
+#
+# Usage: scripts/verify.sh   (from the repository root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+start=$(date +%s.%N)
+
+echo "== cargo build --workspace --release =="
+cargo build --workspace --release
+
+echo "== cargo test --workspace -q =="
+cargo test --workspace -q
+
+echo "== figures smoke (parallel fan-out) =="
+./target/release/figures core --quick --seeds 2 --jobs 2 >/dev/null
+
+echo "== figures perf (writes BENCH_runner.json) =="
+./target/release/figures perf --quick --jobs 2
+
+wall=$(echo "$start $(date +%s.%N)" | awk '{printf "%.3f", $2 - $1}')
+
+# `figures perf` leaves verify_wall_s null for us to fill in.
+if [ -f BENCH_runner.json ]; then
+    sed -i "s/\"verify_wall_s\": null/\"verify_wall_s\": ${wall}/" BENCH_runner.json
+fi
+
+echo "verify OK in ${wall}s"

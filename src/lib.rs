@@ -49,7 +49,7 @@
 #![warn(missing_docs)]
 
 pub use irs_core::{
-    runner, RunResult, Scenario, Strategy, System, SystemConfig, VmResult, VmScenario,
+    parallel, runner, RunResult, Scenario, Strategy, System, SystemConfig, VmResult, VmScenario,
 };
 
 /// The discrete-event simulation kernel.
