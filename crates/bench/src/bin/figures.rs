@@ -2,34 +2,79 @@
 //! optionally CSV).
 //!
 //! ```text
-//! figures <experiment>... [--seeds N] [--base-seed S] [--jobs N] [--quick] [--csv DIR]
-//!
-//! experiments:
-//!   fig1a fig1b fig2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-//!   fairness sa_stats stacking_baseline
-//!   ablate_pingpong ablate_idle_first ablate_sa_delay ablate_pull
-//!   ablate_slice ablate_pv_spin
-//!   perf   (engine self-benchmark; writes BENCH_runner.json)
-//!   core   (= the per-figure set used by EXPERIMENTS.md)
-//!   all
+//! figures <experiment>... [--seeds N] [--base-seed S] [--jobs N] [--quick]
+//!                         [--check] [--csv DIR]
 //! ```
+//!
+//! Experiment names are listed by [`usage`], generated from the one
+//! [`EXPERIMENTS`] registry (so the help text, the `core`/`all` aliases,
+//! and this doc cannot drift apart): the core per-figure set used by
+//! EXPERIMENTS.md (`fig1a` … `fig13`, `fairness`, `sa_stats`), the extras
+//! (`io_latency`, `ablate_strict_co`, `stacking_baseline`,
+//! `ablate_pingpong`, `ablate_idle_first`, `ablate_sa_delay`,
+//! `ablate_pull`, `ablate_slice`, `ablate_pv_spin`), and `perf` (engine
+//! self-benchmark; writes BENCH_runner.json).
 //!
 //! `--jobs N` sets the worker-thread count for the run fan-out (default:
 //! all available cores). Tables are identical for every worker count.
+//! `--check` arms the online invariant sanitizer
+//! ([`irs_core::check`]) for every simulated run: each system validates
+//! scheduler invariants after every event and panics with a trace dump on
+//! the first violation. Tables are identical with and without it.
 
 use irs_bench::fig5_6::Interference;
 use irs_bench::Opts;
 use irs_metrics::Table;
 use std::time::Instant;
 
+/// Every experiment name the dispatcher understands, in presentation
+/// order, tagged with whether the `core` alias includes it (`all` takes
+/// the whole list). The single source for [`usage`] and alias expansion.
+const EXPERIMENTS: [(&str, bool); 23] = [
+    ("fig1a", true),
+    ("fig1b", true),
+    ("fig2", true),
+    ("fig5", true),
+    ("fig6", true),
+    ("fig7", true),
+    ("fig8", true),
+    ("fig9", true),
+    ("fig10", true),
+    ("fig11", true),
+    ("fig12", true),
+    ("fig13", true),
+    ("fairness", true),
+    ("sa_stats", true),
+    ("io_latency", false),
+    ("ablate_strict_co", false),
+    ("stacking_baseline", false),
+    ("ablate_pingpong", false),
+    ("ablate_idle_first", false),
+    ("ablate_sa_delay", false),
+    ("ablate_pull", false),
+    ("ablate_slice", false),
+    ("ablate_pv_spin", false),
+];
+
 fn usage() -> ! {
+    let join = |core: bool| {
+        EXPERIMENTS
+            .iter()
+            .filter(|(_, c)| *c == core)
+            .map(|(n, _)| *n)
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
     eprintln!(
-        "usage: figures <experiment>... [--seeds N] [--base-seed S] [--jobs N] [--quick] [--csv DIR]\n\
-         experiments: fig1a fig1b fig2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13\n\
-         \u{20}            fairness sa_stats stacking_baseline\n\
-         \u{20}            ablate_pingpong ablate_idle_first ablate_sa_delay ablate_pull\n\
-         \u{20}            ablate_slice ablate_pv_spin ablate_strict_co io_latency\n\
-         \u{20}            perf core all"
+        "usage: figures <experiment>... [--seeds N] [--base-seed S] [--jobs N] [--quick] [--check] [--csv DIR]\n\
+         experiments:\n\
+         \u{20} {}\n\
+         \u{20} {}\n\
+         \u{20} perf   (engine self-benchmark; writes BENCH_runner.json)\n\
+         \u{20} core   (= the per-figure set used by EXPERIMENTS.md)\n\
+         \u{20} all    (= core + the extras on the second line)",
+        join(true),
+        join(false),
     );
     std::process::exit(2);
 }
@@ -114,6 +159,7 @@ fn main() {
                 // sites) resolve through the process default.
                 irs_core::parallel::set_default_jobs(opts.jobs);
             }
+            "--check" => irs_core::check::set_check_enabled(true),
             "--csv" => {
                 csv_dir = Some(it.next().unwrap_or_else(|| usage()));
             }
@@ -122,28 +168,23 @@ fn main() {
         }
     }
 
-    const CORE: [&str; 14] = [
-        "fig1a", "fig1b", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-        "fig12", "fig13", "fairness", "sa_stats",
-    ];
-    const EXTRA: [&str; 9] = [
-        "io_latency",
-        "ablate_strict_co",
-        "stacking_baseline",
-        "ablate_pingpong",
-        "ablate_idle_first",
-        "ablate_sa_delay",
-        "ablate_pull",
-        "ablate_slice",
-        "ablate_pv_spin",
-    ];
-
     let mut queue: Vec<String> = Vec::new();
     for e in &experiments {
         match e.as_str() {
-            "all" => queue.extend(CORE.iter().chain(EXTRA.iter()).map(|s| s.to_string())),
-            "core" => queue.extend(CORE.iter().map(|s| s.to_string())),
-            other => queue.push(other.to_string()),
+            "all" => queue.extend(EXPERIMENTS.iter().map(|(n, _)| n.to_string())),
+            "core" => queue.extend(
+                EXPERIMENTS
+                    .iter()
+                    .filter(|(_, core)| *core)
+                    .map(|(n, _)| n.to_string()),
+            ),
+            other => {
+                if other != "perf" && !EXPERIMENTS.iter().any(|(n, _)| *n == other) {
+                    eprintln!("unknown experiment: {other}");
+                    usage();
+                }
+                queue.push(other.to_string());
+            }
         }
     }
 

@@ -6,6 +6,12 @@
 //! hot path. The engine is deterministic, so the two passes perform the
 //! same work; only wall-clock differs.
 //!
+//! An untimed warm-up pass runs first and doubles as a probe: the mix is
+//! repeated enough times that each timed pass lasts at least
+//! [`MIN_TIMED_WALL_S`]. Without the scaling, a release-mode mix finishes
+//! in ~10 ms and the parallel pass mostly measures worker-thread startup —
+//! which is how an earlier report shipped a "speedup" of 0.76x.
+//!
 //! The report serializes to `BENCH_runner.json`; `scripts/verify.sh`
 //! fills in the trailing `verify_wall_s` field.
 
@@ -101,16 +107,33 @@ const MIX: [(&str, usize, Strategy); 6] = [
     ("swaptions", 2, Strategy::Irs),
 ];
 
+/// Minimum wall-clock of each timed pass. Worker-thread startup in
+/// [`parallel::ordered_map`] costs on the order of 100 µs per worker; a
+/// pass must dwarf that or "speedup" measures thread spawning, not the
+/// engine.
+const MIN_TIMED_WALL_S: f64 = 0.5;
+
 /// Times the mix sequentially and at `opts.jobs` workers and returns the
-/// combined report. `opts.seeds` repetitions per mix entry.
+/// combined report. `opts.seeds` seeds per mix entry; the whole mix is
+/// then repeated (identically — the engine is deterministic) until a
+/// timed pass is expected to take at least [`MIN_TIMED_WALL_S`].
 pub fn perf(opts: Opts) -> PerfReport {
     let per = opts.seeds.max(1) as usize;
-    let runs = MIX.len() * per;
+    let base_runs = MIX.len() * per;
     let job = |i: usize| {
+        let i = i % base_runs;
         let (bench, n_inter, strategy) = MIX[i / per];
         let seed = opts.base_seed + (i % per) as u64;
         Scenario::fig5_style(bench, n_inter, strategy, seed).run()
     };
+
+    // Warm-up: faults code and allocator arenas in, and its wall-clock
+    // sizes the timed passes.
+    let t_probe = Instant::now();
+    let _ = parallel::ordered_map(1, base_runs, job);
+    let probe_wall_s = t_probe.elapsed().as_secs_f64();
+    let repeat = (MIN_TIMED_WALL_S / probe_wall_s.max(1e-6)).ceil() as usize;
+    let runs = base_runs * repeat.clamp(1, 4096);
 
     let t0 = Instant::now();
     let sequential = parallel::ordered_map(1, runs, job);

@@ -46,6 +46,11 @@ pub struct SystemConfig {
     /// paper §5.1). `None` spins forever, as user-level
     /// `OMP_WAIT_POLICY=active` waiters do.
     pub pv_spin: Option<SimTime>,
+    /// Runs the online invariant sanitizer ([`crate::check`]) after every
+    /// event. Also enabled process-wide by
+    /// [`crate::check::set_check_enabled`]; when on, the trace rings are
+    /// armed automatically so a violation report has decisions to show.
+    pub check: bool,
 }
 
 impl Default for SystemConfig {
@@ -56,6 +61,7 @@ impl Default for SystemConfig {
             futex_grace: SimTime::from_micros(30),
             trace_capacity: 0,
             pv_spin: None,
+            check: false,
         }
     }
 }
@@ -76,6 +82,10 @@ pub struct System {
     stopped: bool,
     events_processed: u64,
     trace: irs_sim::trace::TraceRing,
+    /// Whether any trace ring is armed (guest clocks need syncing).
+    trace_on: bool,
+    /// The online invariant sanitizer, when checking is enabled.
+    checker: Option<crate::check::Checker>,
     /// Reusable per-vCPU view buffer: [`System::fill_views`] refills it in
     /// place so the per-event dispatch loop allocates nothing.
     pub(crate) view_buf: Vec<VcpuView>,
@@ -106,9 +116,23 @@ impl System {
             xen_cfg.placement_salt = Some(scenario.seed);
         }
         let mut hv = Hypervisor::new(xen_cfg, scenario.n_pcpus);
+        // The sanitizer needs decisions to show in a violation report, so
+        // checking arms the typed trace rings even when the caller did not
+        // ask for a trace explicitly.
+        let checking = cfg.check || crate::check::check_enabled();
+        let ring_cap = if cfg.trace_capacity > 0 {
+            cfg.trace_capacity
+        } else if checking {
+            256
+        } else {
+            0
+        };
+        if ring_cap > 0 {
+            hv.enable_trace(ring_cap);
+        }
 
         let mut domains = Vec::new();
-        for vm in scenario.vms {
+        for (vm_index, vm) in scenario.vms.into_iter().enumerate() {
             let sa_guest = vm
                 .irs_guest
                 .unwrap_or(vm.measured && strategy.sa_capable_guest());
@@ -131,6 +155,9 @@ impl System {
                 }
             }
             let mut os = GuestOs::new(guest_cfg, vm.n_vcpus);
+            if ring_cap > 0 {
+                os.enable_trace(vm_index, ring_cap);
+            }
             let bundle = vm.bundle;
             let tasks: Vec<TaskRt> = bundle
                 .threads
@@ -177,8 +204,8 @@ impl System {
         }
 
         let n_pcpus = hv.n_pcpus();
-        let trace = if cfg.trace_capacity > 0 {
-            irs_sim::trace::TraceRing::enabled(cfg.trace_capacity)
+        let trace = if ring_cap > 0 {
+            irs_sim::trace::TraceRing::enabled(ring_cap)
         } else {
             irs_sim::trace::TraceRing::disabled()
         };
@@ -195,9 +222,14 @@ impl System {
             stopped: false,
             events_processed: 0,
             trace,
+            trace_on: ring_cap > 0,
+            checker: None,
             view_buf: Vec::new(),
         };
         sys.boot();
+        if checking {
+            sys.checker = Some(crate::check::Checker::new(&sys));
+        }
         sys
     }
 
@@ -280,6 +312,14 @@ impl System {
         );
         debug_assert!(t >= self.now, "time went backwards");
         self.now = t;
+        if self.trace_on {
+            // Guest entry points mostly have no `now` parameter; keep each
+            // kernel's trace clock in lock-step with virtual time instead
+            // of widening every signature.
+            for d in &mut self.domains {
+                d.os.sync_clock(t);
+            }
+        }
         self.dispatch(ev);
         // Strict co-scheduling: rotate early rather than idle the machine
         // when the gang VM went fully idle and another VM has work.
@@ -292,6 +332,10 @@ impl System {
             }
         }
         self.refresh_slice_timers();
+        if let Some(mut checker) = self.checker.take() {
+            checker.check(self, ev);
+            self.checker = Some(checker);
+        }
         true
     }
 
@@ -304,6 +348,29 @@ impl System {
     /// [`SystemConfig::trace_capacity`] was set).
     pub fn trace(&self) -> &irs_sim::trace::TraceRing {
         &self.trace
+    }
+
+    /// Merges every typed trace ring — the hypervisor's, each guest
+    /// kernel's, and the embedder's own action notes — into one timeline,
+    /// stable-sorted by virtual timestamp, and renders the newest ~120
+    /// records one line each. Empty unless tracing is armed (via
+    /// [`SystemConfig::trace_capacity`] or checking). This is the report
+    /// body the invariant sanitizer prints on violation.
+    pub fn trace_dump(&self) -> String {
+        let mut recs: Vec<&irs_sim::trace::TraceRecord> = Vec::new();
+        recs.extend(self.hv.trace().records().iter());
+        for d in &self.domains {
+            recs.extend(d.os.trace().records().iter());
+        }
+        recs.extend(self.trace.records().iter());
+        recs.sort_by_key(|r| r.at);
+        let tail = recs.len().saturating_sub(120);
+        let mut out = String::new();
+        for r in &recs[tail..] {
+            out.push_str(&r.to_string());
+            out.push('\n');
+        }
+        out
     }
 
     /// Read access to the hypervisor (diagnostics, tests, probes).

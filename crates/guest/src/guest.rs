@@ -8,6 +8,7 @@ use crate::rq::Runqueue;
 use crate::softirq::{Softirq, SoftirqOutcome};
 use crate::stats::GuestStats;
 use crate::task::{Task, TaskId, TaskState, NICE0_WEIGHT};
+use irs_sim::trace::{TraceEvent, TraceRing};
 use irs_sim::SimTime;
 use irs_xen::SchedOp;
 use std::collections::VecDeque;
@@ -40,6 +41,13 @@ pub struct GuestOs {
     softirq_pending: Vec<u8>,
     tick_counts: Vec<u64>,
     started: bool,
+    /// Typed trace bus for context-switch decisions (disabled by default).
+    trace: TraceRing,
+    /// VM index stamped into emitted trace events (set by `enable_trace`).
+    trace_vm: usize,
+    /// Latest virtual time the embedder synced; entry points without a
+    /// `now` parameter timestamp their trace events with this.
+    clock: SimTime,
 }
 
 impl GuestOs {
@@ -61,7 +69,32 @@ impl GuestOs {
             softirq_pending: vec![0; n_vcpus],
             tick_counts: vec![0; n_vcpus],
             started: false,
+            trace: TraceRing::disabled(),
+            trace_vm: 0,
+            clock: SimTime::ZERO,
         }
+    }
+
+    /// Enables the typed trace bus with a ring of `capacity` records.
+    /// Emitted events carry `vm` as their VM index. Tracing never changes
+    /// scheduling decisions; it only captures them.
+    pub fn enable_trace(&mut self, vm: usize, capacity: usize) {
+        self.trace = TraceRing::enabled(capacity);
+        self.trace_vm = vm;
+    }
+
+    /// The guest's trace ring (empty and disabled unless
+    /// [`GuestOs::enable_trace`] was called).
+    pub fn trace(&self) -> &TraceRing {
+        &self.trace
+    }
+
+    /// Advances the timestamp used for trace events emitted by entry points
+    /// that take no `now` (wakes, balancing, migrator runs). The embedding
+    /// simulation calls this as virtual time advances; it has no effect on
+    /// scheduling decisions.
+    pub fn sync_clock(&mut self, now: SimTime) {
+        self.clock = now;
     }
 
     /// Pops a recycled action buffer (or allocates a fresh one).
@@ -381,6 +414,12 @@ impl GuestOs {
             let vr = self.tasks[cur.0].vruntime;
             self.rqs[vcpu].enqueue(vr, cur);
         }
+        let (at, vm) = (self.clock, self.trace_vm);
+        self.trace.emit(at, || TraceEvent::TaskStop {
+            vm,
+            vcpu,
+            task: cur.0,
+        });
         out.push(GuestAction::StopTask { vcpu, task: cur });
     }
 
@@ -393,6 +432,12 @@ impl GuestOs {
         self.tasks[next.0].cpu = vcpu;
         self.rqs[vcpu].current = Some(next);
         self.stats.context_switches += 1;
+        let (at, vm) = (self.clock, self.trace_vm);
+        self.trace.emit(at, || TraceEvent::TaskRun {
+            vm,
+            vcpu,
+            task: next.0,
+        });
         out.push(GuestAction::RunTask { vcpu, task: next });
     }
 
@@ -408,6 +453,12 @@ impl GuestOs {
         self.tasks[task.0].cpu = vcpu;
         self.rqs[vcpu].current = Some(task);
         self.stats.context_switches += 1;
+        let (at, vm) = (self.clock, self.trace_vm);
+        self.trace.emit(at, || TraceEvent::TaskRun {
+            vm,
+            vcpu,
+            task: task.0,
+        });
         out.push(GuestAction::RunTask { vcpu, task });
     }
 
@@ -431,6 +482,13 @@ impl GuestOs {
         self.tasks[task.0].cpu = to;
         self.tasks[task.0].migrations += 1;
         self.rqs[to].enqueue(placed, task);
+        let (at, vm) = (self.clock, self.trace_vm);
+        self.trace.emit(at, || TraceEvent::TaskMigrate {
+            vm,
+            task: task.0,
+            from,
+            to,
+        });
         out.push(GuestAction::TaskMigrated { task, from, to });
     }
 

@@ -13,9 +13,9 @@
 //! so the queue stores payloads **inline in the heap entries** and keeps a
 //! side **generation-tagged slab** (a plain `Vec<u32>` plus a free list)
 //! whose only job is deciding whether a heap entry is still live. Compared
-//! to the earlier `HashMap<u64, E>` payload side-table this removes a hash
-//! + probe from every schedule, pop, and peek, and makes cancellation a
-//! single indexed generation bump.
+//! to the earlier `HashMap<u64, E>` payload side-table this removes a
+//! hash-plus-probe from every schedule, pop, and peek, and makes
+//! cancellation a single indexed generation bump.
 //!
 //! Two complementary mechanisms bound tombstone accumulation:
 //!
@@ -231,6 +231,17 @@ impl<E> EventQueue<E> {
             self.free.push(i as u32);
         }
         self.live = 0;
+        // Every slot must re-enter the free list exactly once: a slot left
+        // out is stranded forever, and a duplicated slot would alias two
+        // live events on one generation counter — letting a single stale
+        // handle cancel the wrong post-clear event.
+        debug_assert_eq!(self.free.len(), self.gens.len());
+        debug_assert!({
+            let mut seen = vec![false; self.gens.len()];
+            self.free
+                .iter()
+                .all(|&s| !std::mem::replace(&mut seen[s as usize], true))
+        });
     }
 
     /// Restores the invariant that the heap top, if any, is live. Amortized
@@ -371,6 +382,34 @@ mod tests {
         // The queue is fully usable after a clear.
         q.schedule(SimTime::from_nanos(3), 9);
         assert_eq!(q.pop(), Some((SimTime::from_nanos(3), 9)));
+    }
+
+    #[test]
+    fn clear_then_reschedule_keeps_stale_handles_dead() {
+        let mut q = EventQueue::new();
+        let pre: Vec<_> = (0..8u32)
+            .map(|i| q.schedule(SimTime::from_nanos(i as u64), i))
+            .collect();
+        // Mixed slot history through the clear: one slot already recycled
+        // by pop, one by cancel, the rest still live.
+        q.pop();
+        assert!(q.cancel(pre[3]));
+        q.clear();
+        // Refill past the cleared population so every recycled slot (and a
+        // few fresh ones) is re-occupied, in whatever order the free list
+        // hands slots out.
+        let post: Vec<_> = (0..12u32)
+            .map(|i| q.schedule(SimTime::from_nanos(100 + i as u64), 100 + i))
+            .collect();
+        assert_eq!(q.len(), 12);
+        for id in &pre {
+            assert!(!q.cancel(*id), "stale pre-clear handle hit a recycled slot");
+        }
+        assert_eq!(q.len(), 12, "stale cancels must not remove anything");
+        for id in &post {
+            assert!(q.cancel(*id), "post-clear handles must stay valid");
+        }
+        assert!(q.is_empty());
     }
 
     #[test]

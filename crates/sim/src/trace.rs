@@ -1,9 +1,17 @@
-//! Bounded in-memory trace ring.
+//! Bounded in-memory trace ring over a typed scheduler event bus.
 //!
 //! Scheduler bugs are interleaving bugs; a printf is useless without the
 //! virtual timestamp and the last few hundred decisions that led up to the
-//! failure. [`TraceRing`] keeps a bounded window of `(time, message)` records
-//! that tests and the `figures` binary can dump when an assertion trips.
+//! failure. [`TraceRing`] keeps a bounded window of [`TraceRecord`]s —
+//! `(time, TraceEvent)` pairs — that the invariant sanitizer, tests, and the
+//! `figures` binary can dump when an assertion trips.
+//!
+//! Events are *typed* ([`TraceEvent`]) rather than pre-rendered strings, so
+//! the hot paths that emit them (hypervisor dispatch, guest context switch)
+//! store a handful of plain integers per record; rendering happens only when
+//! a dump is actually requested. The layers above `irs-sim` cannot be named
+//! here (the crate DAG points the other way), so every variant carries plain
+//! `usize`/`i64` indices and `&'static str` tags.
 //!
 //! Tracing is entirely opt-in: a disabled ring ignores records at ~zero cost,
 //! so production runs of the big parameter sweeps pay nothing.
@@ -12,20 +20,210 @@ use crate::time::SimTime;
 use std::collections::VecDeque;
 use std::fmt;
 
-/// One trace record: a timestamp, a static category, and a rendered message.
+/// One typed scheduler event on the trace bus.
+///
+/// Variants mirror the decision points of the two stacked schedulers: the
+/// `xen`-side ones are emitted by the hypervisor's credit scheduler and SA
+/// protocol, the `guest`-side ones by the CFS model's context-switch and
+/// migration choke points. [`TraceEvent::Note`] carries free-form rendered
+/// text for callers that predate the typed bus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A vCPU was dispatched onto a pCPU.
+    Schedule {
+        /// Physical CPU that starts running the vCPU.
+        pcpu: usize,
+        /// VM index of the dispatched vCPU.
+        vm: usize,
+        /// vCPU index within the VM.
+        vcpu: usize,
+        /// Why the scheduler ran (e.g. `"wake"`, `"slice-expiry"`).
+        reason: &'static str,
+    },
+    /// A running vCPU was descheduled but still wants the CPU.
+    Preempt {
+        /// Physical CPU the vCPU was running on.
+        pcpu: usize,
+        /// VM index of the preempted vCPU.
+        vm: usize,
+        /// vCPU index within the VM.
+        vcpu: usize,
+    },
+    /// A running vCPU voluntarily blocked (or went offline).
+    Block {
+        /// Physical CPU the vCPU was running on.
+        pcpu: usize,
+        /// VM index of the blocking vCPU.
+        vm: usize,
+        /// vCPU index within the VM.
+        vcpu: usize,
+    },
+    /// A blocked vCPU woke and was enqueued on a pCPU's runqueue.
+    Wake {
+        /// VM index of the woken vCPU.
+        vm: usize,
+        /// vCPU index within the VM.
+        vcpu: usize,
+        /// Physical CPU whose runqueue received it.
+        pcpu: usize,
+    },
+    /// The hypervisor sent a scheduler-activation upcall (`VIRQ_SA_UPCALL`).
+    SaSend {
+        /// VM index of the notified vCPU.
+        vm: usize,
+        /// vCPU index within the VM.
+        vcpu: usize,
+    },
+    /// The guest acknowledged an SA upcall with a scheduling hypercall.
+    SaAck {
+        /// VM index of the acknowledging vCPU.
+        vm: usize,
+        /// vCPU index within the VM.
+        vcpu: usize,
+        /// The acknowledging operation, e.g. `"SCHEDOP_block"`.
+        op: &'static str,
+    },
+    /// An SA upcall hit its completion limit and preemption was forced.
+    SaTimeout {
+        /// VM index of the vCPU that failed to acknowledge in time.
+        vm: usize,
+        /// vCPU index within the VM.
+        vcpu: usize,
+    },
+    /// A periodic credit-scheduler tick burned credits of a running vCPU.
+    CreditTick {
+        /// VM index of the charged vCPU.
+        vm: usize,
+        /// vCPU index within the VM.
+        vcpu: usize,
+        /// Credits burned by this tick.
+        burned: i64,
+        /// Credit balance after the burn.
+        credits: i64,
+    },
+    /// The guest OS put a task on a vCPU.
+    TaskRun {
+        /// VM index of the guest.
+        vm: usize,
+        /// vCPU the task starts running on.
+        vcpu: usize,
+        /// Guest task index.
+        task: usize,
+    },
+    /// The guest OS took the current task off a vCPU.
+    TaskStop {
+        /// VM index of the guest.
+        vm: usize,
+        /// vCPU the task was running on.
+        vcpu: usize,
+        /// Guest task index.
+        task: usize,
+    },
+    /// The guest OS migrated a queued task between vCPU runqueues.
+    TaskMigrate {
+        /// VM index of the guest.
+        vm: usize,
+        /// Guest task index.
+        task: usize,
+        /// Source vCPU runqueue.
+        from: usize,
+        /// Destination vCPU runqueue.
+        to: usize,
+    },
+    /// Free-form rendered text from a caller outside the typed bus.
+    Note {
+        /// Category tag, e.g. `"xen"` or `"guest"`.
+        category: &'static str,
+        /// Rendered description of the event.
+        message: String,
+    },
+}
+
+impl TraceEvent {
+    /// Short static category tag used as the middle column of a dump line.
+    pub fn category(&self) -> &'static str {
+        match self {
+            TraceEvent::Schedule { .. } => "xen.schedule",
+            TraceEvent::Preempt { .. } => "xen.preempt",
+            TraceEvent::Block { .. } => "xen.block",
+            TraceEvent::Wake { .. } => "xen.wake",
+            TraceEvent::SaSend { .. } => "xen.sa",
+            TraceEvent::SaAck { .. } => "xen.sa",
+            TraceEvent::SaTimeout { .. } => "xen.sa",
+            TraceEvent::CreditTick { .. } => "xen.credit",
+            TraceEvent::TaskRun { .. } => "guest.run",
+            TraceEvent::TaskStop { .. } => "guest.stop",
+            TraceEvent::TaskMigrate { .. } => "guest.migrate",
+            TraceEvent::Note { category, .. } => category,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Schedule {
+                pcpu,
+                vm,
+                vcpu,
+                reason,
+            } => write!(f, "run vm{vm}.v{vcpu} on pcpu{pcpu} ({reason})"),
+            TraceEvent::Preempt { pcpu, vm, vcpu } => {
+                write!(f, "preempt vm{vm}.v{vcpu} off pcpu{pcpu} -> runnable")
+            }
+            TraceEvent::Block { pcpu, vm, vcpu } => {
+                write!(f, "vm{vm}.v{vcpu} blocks off pcpu{pcpu}")
+            }
+            TraceEvent::Wake { vm, vcpu, pcpu } => {
+                write!(f, "wake vm{vm}.v{vcpu} -> pcpu{pcpu} runqueue")
+            }
+            TraceEvent::SaSend { vm, vcpu } => {
+                write!(f, "send VIRQ_SA_UPCALL to vm{vm}.v{vcpu}")
+            }
+            TraceEvent::SaAck { vm, vcpu, op } => {
+                write!(f, "vm{vm}.v{vcpu} acks SA with {op}")
+            }
+            TraceEvent::SaTimeout { vm, vcpu } => {
+                write!(f, "SA completion limit hit for vm{vm}.v{vcpu}; forcing preemption")
+            }
+            TraceEvent::CreditTick {
+                vm,
+                vcpu,
+                burned,
+                credits,
+            } => write!(f, "tick burns {burned} credits of vm{vm}.v{vcpu} (now {credits})"),
+            TraceEvent::TaskRun { vm, vcpu, task } => {
+                write!(f, "vm{vm}: task{task} runs on v{vcpu}")
+            }
+            TraceEvent::TaskStop { vm, vcpu, task } => {
+                write!(f, "vm{vm}: task{task} off v{vcpu}")
+            }
+            TraceEvent::TaskMigrate { vm, task, from, to } => {
+                write!(f, "vm{vm}: migrate task{task} v{from} -> v{to}")
+            }
+            TraceEvent::Note { message, .. } => f.write_str(message),
+        }
+    }
+}
+
+/// One trace record: a virtual timestamp and the typed event.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceRecord {
     /// Virtual time at which the event was recorded.
     pub at: SimTime,
-    /// Category tag, e.g. `"xen.schedule"` or `"guest.migrate"`.
-    pub category: &'static str,
-    /// Rendered description of the event.
-    pub message: String,
+    /// The typed event.
+    pub event: TraceEvent,
 }
 
 impl fmt::Display for TraceRecord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{:>12}] {:<18} {}", self.at, self.category, self.message)
+        write!(
+            f,
+            "[{:>12}] {:<18} {}",
+            self.at,
+            self.event.category(),
+            self.event
+        )
     }
 }
 
@@ -34,16 +232,16 @@ impl fmt::Display for TraceRecord {
 /// # Example
 ///
 /// ```
-/// use irs_sim::trace::TraceRing;
+/// use irs_sim::trace::{TraceEvent, TraceRing};
 /// use irs_sim::SimTime;
 ///
 /// let mut ring = TraceRing::enabled(2);
 /// ring.record(SimTime::from_nanos(1), "test", || "first".to_string());
-/// ring.record(SimTime::from_nanos(2), "test", || "second".to_string());
-/// ring.record(SimTime::from_nanos(3), "test", || "third".to_string());
+/// ring.emit(SimTime::from_nanos(2), || TraceEvent::SaSend { vm: 0, vcpu: 1 });
+/// ring.emit(SimTime::from_nanos(3), || TraceEvent::Wake { vm: 0, vcpu: 1, pcpu: 2 });
 /// // capacity 2: the oldest record was evicted
 /// assert_eq!(ring.records().len(), 2);
-/// assert_eq!(ring.records()[0].message, "second");
+/// assert_eq!(ring.records()[0].event, TraceEvent::SaSend { vm: 0, vcpu: 1 });
 /// ```
 #[derive(Debug)]
 pub struct TraceRing {
@@ -53,7 +251,7 @@ pub struct TraceRing {
 }
 
 impl TraceRing {
-    /// Creates a disabled ring: every `record` call is a no-op.
+    /// Creates a disabled ring: every `record`/`emit` call is a no-op.
     pub fn disabled() -> Self {
         TraceRing {
             enabled: false,
@@ -76,13 +274,12 @@ impl TraceRing {
         self.enabled
     }
 
-    /// Records an event. The message closure only runs when tracing is
-    /// enabled, so callers can interpolate freely without paying for it in
-    /// disabled runs.
+    /// Emits a typed event. The closure only runs when tracing is enabled,
+    /// so hot paths pay nothing in disabled runs.
     #[inline]
-    pub fn record<F>(&mut self, at: SimTime, category: &'static str, message: F)
+    pub fn emit<F>(&mut self, at: SimTime, event: F)
     where
-        F: FnOnce() -> String,
+        F: FnOnce() -> TraceEvent,
     {
         if !self.enabled {
             return;
@@ -90,8 +287,18 @@ impl TraceRing {
         if self.records.len() == self.capacity {
             self.records.pop_front();
         }
-        self.records.push_back(TraceRecord {
-            at,
+        self.records.push_back(TraceRecord { at, event: event() });
+    }
+
+    /// Records a free-form [`TraceEvent::Note`]. The message closure only
+    /// runs when tracing is enabled, so callers can interpolate freely
+    /// without paying for it in disabled runs.
+    #[inline]
+    pub fn record<F>(&mut self, at: SimTime, category: &'static str, message: F)
+    where
+        F: FnOnce() -> String,
+    {
+        self.emit(at, || TraceEvent::Note {
             category,
             message: message(),
         });
@@ -128,11 +335,21 @@ impl Default for TraceRing {
 mod tests {
     use super::*;
 
+    fn msg(r: &TraceRecord) -> &str {
+        match &r.event {
+            TraceEvent::Note { message, .. } => message.as_str(),
+            other => panic!("expected a note, got {other:?}"),
+        }
+    }
+
     #[test]
     fn disabled_ring_records_nothing() {
         let mut ring = TraceRing::disabled();
         ring.record(SimTime::ZERO, "x", || {
             panic!("message closure must not run when disabled")
+        });
+        ring.emit(SimTime::ZERO, || {
+            panic!("event closure must not run when disabled")
         });
         assert!(ring.records().is_empty());
     }
@@ -143,7 +360,7 @@ mod tests {
         for i in 0..10u64 {
             ring.record(SimTime::from_nanos(i), "t", || format!("m{i}"));
         }
-        let msgs: Vec<&str> = ring.records().iter().map(|r| r.message.as_str()).collect();
+        let msgs: Vec<&str> = ring.records().iter().map(msg).collect();
         assert_eq!(msgs, vec!["m7", "m8", "m9"]);
     }
 
@@ -153,18 +370,87 @@ mod tests {
         ring.record(SimTime::ZERO, "t", || "only".to_string());
         ring.record(SimTime::ZERO, "t", || "survivor".to_string());
         assert_eq!(ring.records().len(), 1);
-        assert_eq!(ring.records()[0].message, "survivor");
+        assert_eq!(msg(&ring.records()[0]), "survivor");
     }
 
     #[test]
     fn dump_is_line_per_record() {
         let mut ring = TraceRing::enabled(4);
-        ring.record(SimTime::from_micros(26), "xen.sa", || "sent".to_string());
-        ring.record(SimTime::from_millis(30), "xen.sched", || "switch".to_string());
+        ring.emit(SimTime::from_micros(26), || TraceEvent::SaSend { vm: 0, vcpu: 1 });
+        ring.emit(SimTime::from_millis(30), || TraceEvent::Schedule {
+            pcpu: 2,
+            vm: 0,
+            vcpu: 1,
+            reason: "wake",
+        });
         let dump = ring.dump();
         assert_eq!(dump.lines().count(), 2);
         assert!(dump.contains("xen.sa"));
+        assert!(dump.contains("VIRQ_SA_UPCALL"));
         assert!(dump.contains("26.000us"));
+        assert!(dump.contains("run vm0.v1 on pcpu2 (wake)"));
+    }
+
+    #[test]
+    fn typed_events_render_with_category() {
+        let mut ring = TraceRing::enabled(16);
+        ring.emit(SimTime::from_micros(1), || TraceEvent::Preempt {
+            pcpu: 0,
+            vm: 1,
+            vcpu: 2,
+        });
+        ring.emit(SimTime::from_micros(2), || TraceEvent::Block {
+            pcpu: 0,
+            vm: 1,
+            vcpu: 2,
+        });
+        ring.emit(SimTime::from_micros(3), || TraceEvent::Wake {
+            vm: 1,
+            vcpu: 2,
+            pcpu: 3,
+        });
+        ring.emit(SimTime::from_micros(4), || TraceEvent::SaAck {
+            vm: 1,
+            vcpu: 2,
+            op: "SCHEDOP_block",
+        });
+        ring.emit(SimTime::from_micros(5), || TraceEvent::SaTimeout { vm: 1, vcpu: 2 });
+        ring.emit(SimTime::from_micros(6), || TraceEvent::CreditTick {
+            vm: 1,
+            vcpu: 2,
+            burned: 100,
+            credits: 150,
+        });
+        ring.emit(SimTime::from_micros(7), || TraceEvent::TaskRun {
+            vm: 1,
+            vcpu: 2,
+            task: 5,
+        });
+        ring.emit(SimTime::from_micros(8), || TraceEvent::TaskStop {
+            vm: 1,
+            vcpu: 2,
+            task: 5,
+        });
+        ring.emit(SimTime::from_micros(9), || TraceEvent::TaskMigrate {
+            vm: 1,
+            task: 5,
+            from: 2,
+            to: 0,
+        });
+        let dump = ring.dump();
+        for needle in [
+            "xen.preempt",
+            "xen.block",
+            "xen.wake",
+            "SCHEDOP_block",
+            "completion limit",
+            "xen.credit",
+            "guest.run",
+            "guest.stop",
+            "migrate task5 v2 -> v0",
+        ] {
+            assert!(dump.contains(needle), "dump missing {needle:?}:\n{dump}");
+        }
     }
 
     #[test]

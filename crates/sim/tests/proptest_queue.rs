@@ -46,16 +46,19 @@ impl ModelQueue {
 }
 
 /// One step of the equivalence-test interleaving: `(op, a, b)` where
-/// `op % 4` selects schedule/cancel/pop/peek, `a` picks a time bucket, and
-/// `b` picks which outstanding handle a cancel targets.
+/// `op` selects schedule/cancel/pop/peek/clear (clear deliberately rare —
+/// it appears at 1-in-20 so interleavings still build up deep queues), `a`
+/// picks a time bucket, and `b` picks which outstanding handle a cancel
+/// targets.
 fn step_strategy() -> impl Strategy<Value = (u8, u64, u8)> {
-    (0u8..4, 0u64..50, 0u8..255).prop_map(|(op, a, b)| (op, a, b))
+    (0u8..20, 0u64..50, 0u8..255)
+        .prop_map(|(op, a, b)| (if op == 19 { 4 } else { op % 4 }, a, b))
 }
 
 proptest! {
     /// The rewritten queue is observationally equivalent to the old
     /// semantics (time order + FIFO ties + cancellation) under arbitrary
-    /// interleavings of schedule / cancel / pop / peek.
+    /// interleavings of schedule / cancel / pop / peek / clear.
     #[test]
     fn queue_matches_reference_model(ops in prop::collection::vec(step_strategy(), 1..400)) {
         let mut real = EventQueue::new();
@@ -84,8 +87,16 @@ proptest! {
                     let got = real.pop().map(|(t, p)| (t.as_nanos(), p));
                     prop_assert_eq!(got, model.pop());
                 }
-                _ => {
+                3 => {
                     prop_assert_eq!(real.peek_time().map(|t| t.as_nanos()), model.peek_time());
+                }
+                _ => {
+                    // Clear: both queues drop everything. The handle
+                    // vectors are deliberately kept — later cancels with
+                    // pre-clear handles must report false in both, even
+                    // after the real queue recycles those slots.
+                    real.clear();
+                    model.pending.clear();
                 }
             }
             prop_assert_eq!(real.len(), model.pending.len());

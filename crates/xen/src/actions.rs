@@ -109,9 +109,10 @@ pub enum ScheduleReason {
     CoPark,
 }
 
-impl fmt::Display for ScheduleReason {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+impl ScheduleReason {
+    /// Static rendering, usable as a [`irs_sim::trace::TraceEvent`] tag.
+    pub fn as_str(self) -> &'static str {
+        match self {
             ScheduleReason::Start => "start",
             ScheduleReason::SliceExpiry => "slice-expiry",
             ScheduleReason::Wake => "wake",
@@ -122,8 +123,13 @@ impl fmt::Display for ScheduleReason {
             ScheduleReason::SaTimeout => "sa-timeout",
             ScheduleReason::PleExit => "ple-exit",
             ScheduleReason::CoPark => "co-park",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl fmt::Display for ScheduleReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 

@@ -59,6 +59,11 @@ pub struct XenConfig {
     /// Strict (gang) co-scheduling — the VMware ESX 2.x baseline of §2.1:
     /// whole VMs rotate on gang slices; see [`crate::Hypervisor::gang_rotate`].
     pub strict_co: bool,
+    /// **Deliberate fault injection** for the invariant sanitizer's own
+    /// tests: on wake-up the scheduler marks the woken vCPU `Running` on its
+    /// target pCPU *without* descheduling the incumbent, double-booking the
+    /// pCPU. Never set outside sanitizer self-tests.
+    pub fault_double_run: bool,
 }
 
 impl Default for XenConfig {
@@ -75,6 +80,7 @@ impl Default for XenConfig {
             ple: None,
             relaxed_co: None,
             strict_co: false,
+            fault_double_run: false,
         }
     }
 }

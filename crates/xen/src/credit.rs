@@ -25,6 +25,7 @@ use crate::hypervisor::Hypervisor;
 use crate::ids::{PcpuId, VcpuRef};
 use crate::runstate::RunState;
 use crate::vcpu::CreditPriority;
+use irs_sim::trace::TraceEvent;
 use irs_sim::SimTime;
 
 /// Credits burned by a running vCPU per 10 ms tick (Xen: `CSCHED_CREDITS_PER_TICK`).
@@ -59,7 +60,15 @@ impl Hypervisor {
                 if delta > 0 {
                     let burn = (delta as i64 * CREDITS_PER_TICK) / tick_ns as i64;
                     vc.credits = (vc.credits - burn).max(CREDIT_FLOOR);
+                    let credits = vc.credits;
+                    self.trace.emit(now, || TraceEvent::CreditTick {
+                        vm,
+                        vcpu: idx,
+                        burned: burn,
+                        credits,
+                    });
                 }
+                let vc = &mut self.vcpus[vm][idx];
                 vc.refresh_priority();
             }
         }
@@ -205,6 +214,24 @@ impl Hypervisor {
             self.stats.global.boosts += 1;
         }
         self.enqueue(v, target);
+        self.trace.emit(now, || TraceEvent::Wake {
+            vm: v.vm.0,
+            vcpu: v.idx,
+            pcpu: target.0,
+        });
+
+        if self.cfg.fault_double_run {
+            if let Some(_incumbent) = self.pcpus[target.0].current {
+                // Deliberate corruption for the sanitizer's own tests (see
+                // `XenConfig::fault_double_run`): mark the woken vCPU Running
+                // and current on its target without descheduling the
+                // incumbent, double-booking the pCPU.
+                self.remove_queued(v, target);
+                self.vc_mut(v).clock.transition(RunState::Running, now);
+                self.pcpus[target.0].current = Some(v);
+                return out;
+            }
+        }
 
         let should_tickle = match self.pcpus[target.0].current {
             None => true,
@@ -229,6 +256,15 @@ impl Hypervisor {
             self.vc_mut(v).sa_pending = false;
             self.pcpus[home.0].sa_wait = None;
             self.stats.global.sa_acked += 1;
+            let op_str = match op {
+                SchedOp::Block => "SCHEDOP_block",
+                SchedOp::Yield => "SCHEDOP_yield",
+            };
+            self.trace.emit(now, || TraceEvent::SaAck {
+                vm: v.vm.0,
+                vcpu: v.idx,
+                op: op_str,
+            });
         }
         if self.pcpus[home.0].current != Some(v) || self.vc(v).state() != RunState::Running {
             return out; // spurious: only the running vCPU can hypercall
@@ -309,7 +345,7 @@ impl Hypervisor {
             match candidate {
                 Some(next) => {
                     self.remove_queued(next, pcpu);
-                    self.dispatch(pcpu, next, now, out);
+                    self.dispatch(pcpu, next, now, reason, out);
                 }
                 None => {
                     if cur.is_none() {
@@ -362,8 +398,7 @@ impl Hypervisor {
         self.stats.global.preemptions += 1;
         self.stats.vcpu_mut(c).preemptions += 1;
         self.stop_current(pcpu, RunState::Runnable, now, out);
-        self.dispatch(pcpu, next, now, out);
-        let _ = reason;
+        self.dispatch(pcpu, next, now, reason, out);
     }
 
     /// Context-switches the current vCPU of `pcpu` out into `to`.
@@ -385,6 +420,18 @@ impl Hypervisor {
         // plain-UNDER siblings queued behind them.
         self.vc_mut(c).unboost();
         self.vc_mut(c).clock.transition(to, now);
+        self.trace.emit(now, || match to {
+            RunState::Runnable => TraceEvent::Preempt {
+                pcpu: pcpu.0,
+                vm: c.vm.0,
+                vcpu: c.idx,
+            },
+            _ => TraceEvent::Block {
+                pcpu: pcpu.0,
+                vm: c.vm.0,
+                vcpu: c.idx,
+            },
+        });
         if to == RunState::Runnable {
             self.enqueue(c, pcpu);
         }
@@ -399,9 +446,16 @@ impl Hypervisor {
         pcpu: PcpuId,
         next: VcpuRef,
         now: SimTime,
+        reason: ScheduleReason,
         out: &mut Vec<HvAction>,
     ) {
         debug_assert!(self.pcpus[pcpu.0].current.is_none());
+        self.trace.emit(now, || TraceEvent::Schedule {
+            pcpu: pcpu.0,
+            vm: next.vm.0,
+            vcpu: next.idx,
+            reason: reason.as_str(),
+        });
         {
             let vc = self.vc_mut(next);
             debug_assert_eq!(vc.state(), RunState::Runnable);

@@ -13,6 +13,7 @@ use crate::runstate::{RunState, RunstateInfo};
 use crate::stats::{HvStats, StatsStore, VcpuStats};
 use crate::vcpu::Vcpu;
 use crate::vm::{Vm, VmSpec};
+use irs_sim::trace::TraceRing;
 use irs_sim::SimTime;
 
 /// The Xen-like hypervisor model.
@@ -35,6 +36,8 @@ pub struct Hypervisor {
     /// `Vec` back through [`Hypervisor::recycle_actions`], so steady-state
     /// scheduling decisions allocate nothing.
     pub(crate) spare_bufs: Vec<Vec<HvAction>>,
+    /// Typed trace bus for scheduling decisions (disabled by default).
+    pub(crate) trace: TraceRing,
 }
 
 impl Hypervisor {
@@ -55,7 +58,21 @@ impl Hypervisor {
             started: false,
             gang_current: None,
             spare_bufs: Vec::new(),
+            trace: TraceRing::disabled(),
         }
+    }
+
+    /// Enables the typed trace bus with a ring of `capacity` records.
+    ///
+    /// Tracing never changes scheduling decisions; it only captures them.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = TraceRing::enabled(capacity);
+    }
+
+    /// The hypervisor's trace ring (empty and disabled unless
+    /// [`Hypervisor::enable_trace`] was called).
+    pub fn trace(&self) -> &TraceRing {
+        &self.trace
     }
 
     /// Takes an empty action buffer from the recycle pool (or allocates the

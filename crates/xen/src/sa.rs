@@ -19,6 +19,7 @@ use crate::actions::{HvAction, ScheduleReason};
 use crate::hypervisor::Hypervisor;
 use crate::ids::{PcpuId, VcpuRef, Virq};
 use crate::runstate::RunState;
+use irs_sim::trace::TraceEvent;
 use irs_sim::SimTime;
 
 impl Hypervisor {
@@ -50,6 +51,10 @@ impl Hypervisor {
         self.pcpus[pcpu.0].sa_wait = Some(vcpu);
         self.stats.global.sa_sent += 1;
         self.stats.vcpu_mut(vcpu).sa_received += 1;
+        self.trace.emit(now, || TraceEvent::SaSend {
+            vm: vcpu.vm.0,
+            vcpu: vcpu.idx,
+        });
         out.push(HvAction::DeliverVirq {
             vcpu,
             virq: Virq::SaUpcall,
@@ -76,6 +81,10 @@ impl Hypervisor {
         self.vc_mut(vcpu).sa_pending = false;
         self.pcpus[home.0].sa_wait = None;
         self.stats.global.sa_timeouts += 1;
+        self.trace.emit(now, || TraceEvent::SaTimeout {
+            vm: vcpu.vm.0,
+            vcpu: vcpu.idx,
+        });
 
         if self.pcpus[home.0].current == Some(vcpu)
             && self.vc(vcpu).state() == RunState::Running

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 verification: release build, full test suite, and a parallel-runner
-# smoke test. Also regenerates BENCH_runner.json (via `figures perf`) and
-# records the total verification wall-clock in its `verify_wall_s` field.
+# Tier-1 verification: release build, full test suite, a lint gate, a
+# checked strategy sweep (online invariant sanitizer armed), and a
+# parallel-runner smoke test. Also regenerates BENCH_runner.json (via
+# `figures perf`) and records the total verification wall-clock in its
+# `verify_wall_s` field.
 #
 # Usage: scripts/verify.sh   (from the repository root)
 set -euo pipefail
@@ -14,6 +16,12 @@ cargo build --workspace --release
 
 echo "== cargo test --workspace -q =="
 cargo test --workspace -q
+
+echo "== cargo clippy --workspace --all-targets -- -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== figures checked sweep (invariant sanitizer, all strategies) =="
+./target/release/figures core --quick --check --jobs 2 >/dev/null
 
 echo "== figures smoke (parallel fan-out) =="
 ./target/release/figures core --quick --seeds 2 --jobs 2 >/dev/null
