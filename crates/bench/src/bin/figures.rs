@@ -12,8 +12,8 @@
 //! EXPERIMENTS.md (`fig1a` … `fig13`, `fairness`, `sa_stats`), the extras
 //! (`io_latency`, `ablate_strict_co`, `stacking_baseline`,
 //! `ablate_pingpong`, `ablate_idle_first`, `ablate_sa_delay`,
-//! `ablate_pull`, `ablate_slice`, `ablate_pv_spin`), and `perf` (engine
-//! self-benchmark; writes BENCH_runner.json).
+//! `ablate_pull`, `ablate_slice`, `ablate_pv_spin`, `chaos`), and `perf`
+//! (engine self-benchmark; writes BENCH_runner.json).
 //!
 //! `--jobs N` sets the worker-thread count for the run fan-out (default:
 //! all available cores). Tables are identical for every worker count.
@@ -30,7 +30,7 @@ use std::time::Instant;
 /// Every experiment name the dispatcher understands, in presentation
 /// order, tagged with whether the `core` alias includes it (`all` takes
 /// the whole list). The single source for [`usage`] and alias expansion.
-const EXPERIMENTS: [(&str, bool); 23] = [
+const EXPERIMENTS: [(&str, bool); 24] = [
     ("fig1a", true),
     ("fig1b", true),
     ("fig2", true),
@@ -54,6 +54,7 @@ const EXPERIMENTS: [(&str, bool); 23] = [
     ("ablate_pull", false),
     ("ablate_slice", false),
     ("ablate_pv_spin", false),
+    ("chaos", false),
 ];
 
 fn usage() -> ! {
@@ -124,6 +125,7 @@ fn run_experiment(exp: &str, opts: Opts) -> Vec<Table> {
         "ablate_slice" => vec![irs_bench::ablations::ablate_slice(opts)],
         "ablate_pv_spin" => vec![irs_bench::ablations::ablate_pv_spin(opts)],
         "io_latency" => vec![irs_bench::io_latency::io_latency(opts)],
+        "chaos" => vec![irs_bench::chaos::chaos(opts)],
         "ablate_strict_co" => vec![irs_bench::ablations::ablate_strict_co(opts)],
         other => {
             eprintln!("unknown experiment: {other}");

@@ -38,7 +38,8 @@ pub fn fairness(opts: Opts) -> Table {
 
 /// SA round statistics: rounds sent/acked/timed out and the per-round
 /// delay imposed on the hypervisor's schedule path (configured per §3.1's
-/// 20–26 µs profile; the audit confirms timeouts never fire).
+/// 20–26 µs profile; the audit confirms timeouts never fire in fault-free
+/// runs — [`crate::chaos`] drives the timeout path deliberately).
 pub fn sa_stats(opts: Opts) -> Table {
     let mut table = Table::new("SA round statistics (IRS, streamcluster, per interference level)");
     let mut sent = Series::new("sa sent");

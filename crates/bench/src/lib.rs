@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod chaos;
 pub mod fairness;
 pub mod fig1;
 pub mod fig2;

@@ -24,6 +24,11 @@
 //! 7. **Vruntime monotonicity** — a task's CFS vruntime never decreases
 //!    except across a migration (where CFS re-baselines it against the
 //!    destination queue).
+//! 8. **SA freeze hygiene** — a pCPU frozen on an SA round (`sa_wait`)
+//!    always has the waited-on vCPU current with its round pending, and no
+//!    freeze outlives the completion limit by more than the checker's
+//!    slack: `sa_wait` is always cleared and no vCPU freezes a pCPU
+//!    forever, even under injected faults ([`crate::faults`]).
 //!
 //! A violation panics with the invariant's name, the offending values, and
 //! the tail of the merged scheduling trace ([`crate::System::trace_dump`])
@@ -71,6 +76,10 @@ pub(crate) struct Checker {
     sa: Vec<(bool, u64)>,
     /// Per-VM, per-task vruntime/migration snapshots.
     tasks: Vec<Vec<TaskSnap>>,
+    /// Per-pCPU: the SA freeze observed there (`(vcpu, generation, since)`),
+    /// where `since` is the first step at which this exact freeze was seen.
+    /// Drives the no-freeze-forever check.
+    sa_wait_since: Vec<Option<(VcpuRef, u64, irs_sim::SimTime)>>,
 }
 
 impl Checker {
@@ -81,6 +90,7 @@ impl Checker {
             runstates: Vec::new(),
             sa: Vec::new(),
             tasks: Vec::new(),
+            sa_wait_since: vec![None; sys.hypervisor().n_pcpus()],
         };
         c.snapshot(sys);
         c
@@ -122,6 +132,7 @@ impl Checker {
         self.check_pcpu_exclusivity(sys, ev);
         self.check_guest_tasks(sys, ev);
         self.check_sa_protocol(sys, ev);
+        self.check_sa_freeze(sys, ev);
         self.snapshot(sys);
     }
 
@@ -330,6 +341,62 @@ impl Checker {
                         "{v} re-armed an SA (gen {prev_gen} -> {gen}) while one was already pending"
                     ),
                 );
+            }
+        }
+    }
+
+    /// SA freeze hygiene: every frozen pCPU is frozen on its own current
+    /// vCPU with a pending round, and no freeze outlives the completion
+    /// limit (with slack for deadline jitter) — i.e. `sa_wait` is always
+    /// cleared and no vCPU freezes a pCPU forever, even under faults.
+    fn check_sa_freeze(&mut self, sys: &System, ev: Event) {
+        let hv = sys.hypervisor();
+        let now = sys.now();
+        let Some(sa) = hv.config().sa.as_ref() else {
+            return; // no SA configured: sa_wait can never be set
+        };
+        let limit = sa.completion_limit;
+        // Deadline jitter can stretch the armed deadline to ~2x the nominal
+        // limit; one tick period absorbs event granularity.
+        let allowed = limit + limit + hv.config().tick_period;
+        for p in 0..hv.n_pcpus() {
+            let pcpu = PcpuId(p);
+            match hv.pcpu_sa_wait(pcpu) {
+                None => self.sa_wait_since[p] = None,
+                Some(w) => {
+                    if hv.pcpu_current(pcpu) != Some(w) || !hv.is_sa_pending(w) {
+                        fail(
+                            sys,
+                            ev,
+                            "sa-wait-consistency",
+                            format!(
+                                "pcpu{p} is frozen on {w}, but current={:?} pending={}",
+                                hv.pcpu_current(pcpu),
+                                hv.is_sa_pending(w)
+                            ),
+                        );
+                    }
+                    let gen = hv.sa_generation(w);
+                    match self.sa_wait_since[p] {
+                        Some((pw, pg, since)) if pw == w && pg == gen => {
+                            if now - since > allowed {
+                                fail(
+                                    sys,
+                                    ev,
+                                    "sa-freeze",
+                                    format!(
+                                        "pcpu{p} frozen on {w} (gen {gen}) since {since}, \
+                                         {} exceeds the allowed {} (completion limit {})",
+                                        now - since,
+                                        allowed,
+                                        limit
+                                    ),
+                                );
+                            }
+                        }
+                        _ => self.sa_wait_since[p] = Some((w, gen, now)),
+                    }
+                }
             }
         }
     }

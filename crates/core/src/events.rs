@@ -23,6 +23,10 @@ pub(crate) enum Event {
     SaProcess { vm: usize, vcpu: usize, gen: u64 },
     /// The hypervisor's hard SA completion limit.
     SaTimeout { vm: usize, vcpu: usize, gen: u64 },
+    /// A fault-delayed SA acknowledgement finally reaches the hypervisor
+    /// (`yield_op` distinguishes `SCHEDOP_yield` from `SCHEDOP_block`).
+    /// Only scheduled when fault injection is active.
+    SaAckDeliver { vm: usize, vcpu: usize, gen: u64, yield_op: bool },
     /// The asynchronously woken IRS migrator thread runs.
     MigratorRun { vm: usize },
     /// A vCPU has been spinning continuously for the PLE window.

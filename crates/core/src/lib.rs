@@ -30,6 +30,9 @@
 //!   latencies, LHP/LWP counts, scheduler statistics.
 //! * [`runner`] — multi-seed experiment helpers (the paper averages 5
 //!   runs).
+//! * [`faults`] — deterministic fault injection for the SA protocol
+//!   (upcall loss, ack loss/delay, guest wedge, deadline jitter, pCPU
+//!   degradation), driving the `figures chaos` campaign.
 //!
 //! # Example
 //!
@@ -54,6 +57,7 @@ pub mod check;
 mod domain;
 mod events;
 mod exec;
+pub mod faults;
 pub mod parallel;
 mod results;
 pub mod runner;
@@ -61,6 +65,7 @@ mod scenario;
 mod strategy;
 mod system;
 
+pub use faults::{FaultConfig, FaultStats};
 pub use results::{RunResult, VmResult};
 pub use scenario::{Scenario, VmScenario};
 pub use strategy::Strategy;

@@ -19,6 +19,9 @@ pub struct RunResult {
     /// Total discrete events processed — the denominator of the simulator's
     /// own events/sec throughput metric (`figures perf`).
     pub events: u64,
+    /// Fault-injection counters; `None` unless the run was configured with
+    /// [`crate::SystemConfig::faults`].
+    pub faults: Option<crate::faults::FaultStats>,
 }
 
 impl RunResult {
@@ -150,6 +153,7 @@ mod tests {
             vms: vec![vm(false), vm(true)],
             hv: HvStats::default(),
             events: 0,
+            faults: None,
         };
         assert!(r.measured().measured);
     }
@@ -162,6 +166,7 @@ mod tests {
             vms: vec![vm(false)],
             hv: HvStats::default(),
             events: 0,
+            faults: None,
         };
         r.measured();
     }

@@ -19,6 +19,7 @@ use crate::results::{RunResult, VmResult};
 use crate::scenario::Scenario;
 use crate::strategy::Strategy;
 use irs_guest::{GuestAction, GuestConfig, GuestOs, VcpuView};
+use irs_sim::trace::TraceEvent;
 use irs_sim::{EventQueue, SimRng, SimTime};
 use irs_sync::OfferOutcome;
 use irs_workloads::{ProgramRunner, WorkloadKind};
@@ -51,6 +52,11 @@ pub struct SystemConfig {
     /// [`crate::check::set_check_enabled`]; when on, the trace rings are
     /// armed automatically so a violation report has decisions to show.
     pub check: bool,
+    /// Deterministic fault injection ([`crate::faults`]): `None` (the
+    /// default) injects nothing and costs nothing. The fault stream is
+    /// forked from the scenario seed, so a given `(scenario, faults)`
+    /// pair is bit-reproducible regardless of checking or parallelism.
+    pub faults: Option<crate::faults::FaultConfig>,
 }
 
 impl Default for SystemConfig {
@@ -62,6 +68,7 @@ impl Default for SystemConfig {
             trace_capacity: 0,
             pv_spin: None,
             check: false,
+            faults: None,
         }
     }
 }
@@ -86,6 +93,8 @@ pub struct System {
     trace_on: bool,
     /// The online invariant sanitizer, when checking is enabled.
     checker: Option<crate::check::Checker>,
+    /// Live fault injector, when [`SystemConfig::faults`] is set.
+    faults: Option<crate::faults::FaultState>,
     /// Reusable per-vCPU view buffer: [`System::fill_views`] refills it in
     /// place so the per-event dispatch loop allocates nothing.
     pub(crate) view_buf: Vec<VcpuView>,
@@ -209,6 +218,13 @@ impl System {
         } else {
             irs_sim::trace::TraceRing::disabled()
         };
+        // The fault stream is forked from the scenario seed with a fixed
+        // salt: decorrelated from the workload stream, and untouched by
+        // checking or `--jobs`, so fault schedules are bit-reproducible.
+        let faults = cfg.faults.clone().map(|f| {
+            let counts: Vec<usize> = domains.iter().map(|d| d.os.n_vcpus()).collect();
+            crate::faults::FaultState::new(f, scenario.seed, &counts)
+        });
         let mut sys = System {
             cfg,
             strategy,
@@ -224,6 +240,7 @@ impl System {
             trace,
             trace_on: ring_cap > 0,
             checker: None,
+            faults,
             view_buf: Vec::new(),
         };
         sys.boot();
@@ -378,6 +395,12 @@ impl System {
         &self.hv
     }
 
+    /// Fault-injection counters so far; `None` unless
+    /// [`SystemConfig::faults`] was set.
+    pub fn fault_stats(&self) -> Option<crate::faults::FaultStats> {
+        self.faults.as_ref().map(|f| f.stats)
+    }
+
     /// Read access to a VM's guest kernel (diagnostics, tests, probes).
     pub fn guest(&self, vm: usize) -> &irs_guest::GuestOs {
         &self.domains[vm].os
@@ -493,6 +516,7 @@ impl System {
             Event::HvTick => {
                 let acts = self.hv.tick(self.now);
                 self.apply_hv_actions(acts);
+                self.inject_degradation();
                 let next = self.now + self.hv.config().tick_period;
                 self.queue.schedule(next, Event::HvTick);
             }
@@ -514,6 +538,12 @@ impl System {
                 let acts = self.hv.sa_timeout(v, gen, self.now);
                 self.apply_hv_actions(acts);
             }
+            Event::SaAckDeliver {
+                vm,
+                vcpu,
+                gen,
+                yield_op,
+            } => self.on_sa_ack_deliver(vm, vcpu, gen, yield_op),
             Event::MigratorRun { vm } => self.on_migrator_run(vm),
             Event::PleWindow { vm, vcpu, gen } => self.on_ple_window(vm, vcpu, gen),
             Event::RequestArrive { vm } => self.on_request_arrive(vm),
@@ -582,6 +612,17 @@ impl System {
         if !self.hv.is_sa_pending(v) || self.hv.sa_generation(v) != gen {
             return; // the guest already answered (e.g. it blocked anyway)
         }
+        // A wedged vCPU ignores vIRQs: leave the softirq pending and retry
+        // once the window clears. The completion limit usually wins the
+        // race, resolving the round through the §4.1 force path.
+        let wedged_until = self.faults.as_ref().and_then(|f| {
+            f.is_wedged(vm, vcpu, self.now)
+                .then(|| f.wedge_clears_at(vm, vcpu))
+        });
+        if let Some(until) = wedged_until {
+            self.queue.schedule(until, Event::SaProcess { vm, vcpu, gen });
+            return;
+        }
         // The preemptee kept running during the receiver/softirq delay;
         // charge that time before switching.
         self.sync_exec(vm, vcpu);
@@ -592,9 +633,95 @@ impl System {
         self.apply_guest_actions(vm, outcome.actions);
         if let Some(op) = outcome.sa_ack {
             let now = self.now;
+            // The guest handled the upcall, but the acknowledgement
+            // hypercall itself can be dropped or deferred by the injector.
+            if let Some(f) = self.faults.as_mut() {
+                match f.ack_fate(now) {
+                    crate::faults::AckFate::Drop => {
+                        self.trace.emit(now, || TraceEvent::FaultInjected {
+                            kind: "ack-drop",
+                            vm,
+                            vcpu,
+                        });
+                        return;
+                    }
+                    crate::faults::AckFate::Delay(at) => {
+                        self.trace.emit(now, || TraceEvent::FaultInjected {
+                            kind: "ack-delay",
+                            vm,
+                            vcpu,
+                        });
+                        self.queue.schedule(
+                            at,
+                            Event::SaAckDeliver {
+                                vm,
+                                vcpu,
+                                gen,
+                                yield_op: op == SchedOp::Yield,
+                            },
+                        );
+                        return;
+                    }
+                    crate::faults::AckFate::Deliver => {}
+                }
+            }
             self.trace
                 .record(now, "guest", || format!("vm{vm}: v{vcpu} {op} (SA ack)"));
             let acts = self.hv.sched_op(v, op, self.now);
+            self.apply_hv_actions(acts);
+        }
+    }
+
+    /// A fault-delayed SA acknowledgement arrives at the hypervisor. It is
+    /// delivered only while the round it acknowledges is still pending;
+    /// otherwise the completion limit already resolved the round and the
+    /// late ack is discarded as stale (delivering it would desynchronize
+    /// hypervisor and guest state).
+    fn on_sa_ack_deliver(&mut self, vm: usize, vcpu: usize, gen: u64, yield_op: bool) {
+        let v = VcpuRef::new(irs_xen::VmId(vm), vcpu);
+        let now = self.now;
+        if !self.hv.is_sa_pending(v) || self.hv.sa_generation(v) != gen {
+            if let Some(f) = self.faults.as_mut() {
+                f.stats.stale_acks_discarded += 1;
+            }
+            self.trace.record(now, "fault", || {
+                format!("vm{vm}: v{vcpu} delayed SA ack discarded (stale)")
+            });
+            return;
+        }
+        let op = if yield_op { SchedOp::Yield } else { SchedOp::Block };
+        self.trace
+            .record(now, "guest", || format!("vm{vm}: v{vcpu} {op} (delayed SA ack)"));
+        let acts = self.hv.sched_op(v, op, now);
+        self.apply_hv_actions(acts);
+    }
+
+    /// Capacity degradation: every hypervisor tick, each degraded pCPU may
+    /// take a forced maintenance-style preemption of whatever it runs. The
+    /// injection goes through the legitimate `slice_expired` path with the
+    /// live dispatch generation, so credit and runstate semantics hold.
+    fn inject_degradation(&mut self) {
+        let Some(f) = self.faults.as_ref() else {
+            return;
+        };
+        let k = f.config().degraded_pcpus.min(self.hv.n_pcpus());
+        for p in 0..k {
+            // Always draw (busy or not) so the fault stream depends only
+            // on the tick count, never on scheduling state.
+            let hit = self.faults.as_mut().is_some_and(|f| f.degrade_hit());
+            if !hit {
+                continue;
+            }
+            let now = self.now;
+            let acts = self.hv.force_preempt(PcpuId(p), now);
+            if acts.is_empty() {
+                continue; // idle, frozen, or uncontended: nothing to degrade
+            }
+            if let Some(f) = self.faults.as_mut() {
+                f.stats.degrade_preemptions += 1;
+            }
+            self.trace
+                .emit(now, || TraceEvent::PcpuFault { kind: "degrade", pcpu: p });
             self.apply_hv_actions(acts);
         }
     }
@@ -700,28 +827,69 @@ impl System {
                     deadline,
                 } => {
                     let vm = vcpu.vm.0;
-                    // Receiver top half: mark the upcall softirq pending; the
-                    // bottom half (context switcher) runs after the softirq
-                    // delay — or at an intervening tick, after timer work.
-                    self.domains[vm]
-                        .os
-                        .raise_softirq(vcpu.idx, irs_guest::Softirq::Upcall);
                     let gen = self.hv.sa_generation(vcpu);
-                    let delay = self.domains[vm]
-                        .os
-                        .config()
-                        .sa
-                        .as_ref()
-                        .map(|sa| sa.sa_round_delay())
-                        .unwrap_or(SimTime::from_micros(25));
-                    self.queue.schedule(
-                        self.now + delay,
-                        Event::SaProcess {
-                            vm,
-                            vcpu: vcpu.idx,
-                            gen,
-                        },
-                    );
+                    let now = self.now;
+                    // Fault injection at the delivery boundary: the upcall
+                    // can be lost, the target vCPU can wedge, and the
+                    // completion deadline can be jittered. Draw order is
+                    // fixed so the fault stream is reproducible.
+                    let mut deliver = true;
+                    let mut deadline = deadline;
+                    if let Some(f) = self.faults.as_mut() {
+                        if f.drop_upcall() {
+                            deliver = false;
+                            self.trace.emit(now, || TraceEvent::FaultInjected {
+                                kind: "upcall-loss",
+                                vm,
+                                vcpu: vcpu.idx,
+                            });
+                        }
+                        if f.maybe_wedge(vm, vcpu.idx, now).is_some() {
+                            self.trace.emit(now, || TraceEvent::FaultInjected {
+                                kind: "wedge",
+                                vm,
+                                vcpu: vcpu.idx,
+                            });
+                        }
+                        if let Some(dl) = deadline {
+                            let jdl = f.jitter_deadline(now, dl);
+                            if jdl != dl {
+                                self.trace.emit(now, || TraceEvent::FaultInjected {
+                                    kind: "deadline-jitter",
+                                    vm,
+                                    vcpu: vcpu.idx,
+                                });
+                            }
+                            deadline = Some(jdl);
+                        }
+                    }
+                    if deliver {
+                        // Receiver top half: mark the upcall softirq pending;
+                        // the bottom half (context switcher) runs after the
+                        // softirq delay — or at an intervening tick, after
+                        // timer work.
+                        self.domains[vm]
+                            .os
+                            .raise_softirq(vcpu.idx, irs_guest::Softirq::Upcall);
+                        let delay = self.domains[vm]
+                            .os
+                            .config()
+                            .sa
+                            .as_ref()
+                            .map(|sa| sa.sa_round_delay())
+                            .unwrap_or(SimTime::from_micros(25));
+                        self.queue.schedule(
+                            self.now + delay,
+                            Event::SaProcess {
+                                vm,
+                                vcpu: vcpu.idx,
+                                gen,
+                            },
+                        );
+                    }
+                    // The completion deadline is hypervisor-side state: it
+                    // arms even when the guest never saw the upcall — that
+                    // is the whole point of the §4.1 force path.
                     if let Some(dl) = deadline {
                         self.queue.schedule(
                             dl,
@@ -936,6 +1104,7 @@ impl System {
     fn into_result(self) -> RunResult {
         let elapsed = self.now;
         let hv = self.hv.stats().clone();
+        let faults = self.faults.as_ref().map(|f| f.stats);
         let vms = self
             .domains
             .into_iter()
@@ -964,6 +1133,7 @@ impl System {
             vms,
             hv,
             events: self.events_processed,
+            faults,
         }
     }
 }

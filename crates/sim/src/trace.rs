@@ -130,6 +130,24 @@ pub enum TraceEvent {
         /// Destination vCPU runqueue.
         to: usize,
     },
+    /// A deterministic fault was injected into a guest-facing path
+    /// (upcall loss, ack loss/delay, wedge onset, deadline jitter).
+    FaultInjected {
+        /// Which fault, e.g. `"upcall-loss"`, `"ack-drop"`, `"wedge"`.
+        kind: &'static str,
+        /// VM index of the affected vCPU.
+        vm: usize,
+        /// vCPU index within the VM.
+        vcpu: usize,
+    },
+    /// A deterministic fault was injected on a host pCPU (e.g. a forced
+    /// maintenance preemption modelling capacity degradation).
+    PcpuFault {
+        /// Which fault, e.g. `"degrade"`.
+        kind: &'static str,
+        /// The affected pCPU.
+        pcpu: usize,
+    },
     /// Free-form rendered text from a caller outside the typed bus.
     Note {
         /// Category tag, e.g. `"xen"` or `"guest"`.
@@ -154,6 +172,8 @@ impl TraceEvent {
             TraceEvent::TaskRun { .. } => "guest.run",
             TraceEvent::TaskStop { .. } => "guest.stop",
             TraceEvent::TaskMigrate { .. } => "guest.migrate",
+            TraceEvent::FaultInjected { .. } => "fault.inject",
+            TraceEvent::PcpuFault { .. } => "fault.pcpu",
             TraceEvent::Note { category, .. } => category,
         }
     }
@@ -200,6 +220,12 @@ impl fmt::Display for TraceEvent {
             }
             TraceEvent::TaskMigrate { vm, task, from, to } => {
                 write!(f, "vm{vm}: migrate task{task} v{from} -> v{to}")
+            }
+            TraceEvent::FaultInjected { kind, vm, vcpu } => {
+                write!(f, "inject {kind} on vm{vm}.v{vcpu}")
+            }
+            TraceEvent::PcpuFault { kind, pcpu } => {
+                write!(f, "inject {kind} on pcpu{pcpu}")
             }
             TraceEvent::Note { message, .. } => f.write_str(message),
         }
@@ -437,6 +463,15 @@ mod tests {
             from: 2,
             to: 0,
         });
+        ring.emit(SimTime::from_micros(10), || TraceEvent::FaultInjected {
+            kind: "upcall-loss",
+            vm: 1,
+            vcpu: 2,
+        });
+        ring.emit(SimTime::from_micros(11), || TraceEvent::PcpuFault {
+            kind: "degrade",
+            pcpu: 3,
+        });
         let dump = ring.dump();
         for needle in [
             "xen.preempt",
@@ -448,6 +483,10 @@ mod tests {
             "guest.run",
             "guest.stop",
             "migrate task5 v2 -> v0",
+            "fault.inject",
+            "inject upcall-loss on vm1.v2",
+            "fault.pcpu",
+            "inject degrade on pcpu3",
         ] {
             assert!(dump.contains(needle), "dump missing {needle:?}:\n{dump}");
         }

@@ -13,6 +13,16 @@ use irs_sync::{SyncSpace, WaitMode};
 ///
 /// Latency of the `RequestStart`→`RequestDone` span models the "new order
 /// transaction" latency of Fig 8(b).
+///
+/// Deliberately absent: the JVM's stop-the-world safepoints, the likely
+/// carrier of the paper's Fig 8(a) *throughput* gain. A safepoint is
+/// *time-anchored* — every thread stops at its next poll, wherever it is
+/// in its work — while this DSL's synchronization ops are all
+/// *work-anchored* (a thread reaches a `barrier` only at a fixed point in
+/// its instruction stream). A work-anchored barrier epoch forces equal
+/// transaction counts per thread and locksteps the whole VM to the most
+/// interfered vCPU, grossly overstating the gain; see EXPERIMENTS.md
+/// ("Fig 8 — servers") for the measured comparison.
 pub fn specjbb(warehouses: usize) -> WorkloadBundle {
     assert!(warehouses > 0, "specjbb needs at least one warehouse");
     let mut space = SyncSpace::new();

@@ -107,6 +107,9 @@ pub enum ScheduleReason {
     PleExit,
     /// Relaxed co-scheduling parked the leading sibling.
     CoPark,
+    /// A forced maintenance preemption (injected pCPU capacity
+    /// degradation, [`Hypervisor::force_preempt`](crate::Hypervisor)).
+    Degrade,
 }
 
 impl ScheduleReason {
@@ -123,6 +126,7 @@ impl ScheduleReason {
             ScheduleReason::SaTimeout => "sa-timeout",
             ScheduleReason::PleExit => "ple-exit",
             ScheduleReason::CoPark => "co-park",
+            ScheduleReason::Degrade => "degrade",
         }
     }
 }

@@ -169,6 +169,43 @@ impl Hypervisor {
         out
     }
 
+    /// Forced maintenance-style preemption of whatever `pcpu` is running,
+    /// regardless of slice or priority state — the capacity-degradation
+    /// hook of `irs_core::faults`. Routed through the same involuntary
+    /// preemption shape as a slice-expiry switch, so an SA-capable victim
+    /// gets a normal SA round rather than a silent context switch. No-op
+    /// on an idle or SA-frozen pCPU, or when nothing else is runnable
+    /// locally (degradation models losing the CPU to a competitor, not
+    /// self-preemption churn).
+    pub fn force_preempt(&mut self, pcpu: PcpuId, now: SimTime) -> Vec<HvAction> {
+        let mut out = self.out_buf();
+        if self.pcpus[pcpu.0].sa_wait.is_some() {
+            return out;
+        }
+        let Some(cur) = self.pcpus[pcpu.0].current else {
+            return out;
+        };
+        if self.vc(cur).state() != RunState::Running {
+            return out;
+        }
+        let Some(next) = self.pick_local(pcpu) else {
+            return out;
+        };
+        if self.cfg.sa.is_some()
+            && self.vms[cur.vm.0].sa_capable
+            && !self.vc(cur).sa_pending
+        {
+            self.send_sa(pcpu, cur, now, &mut out);
+            return out;
+        }
+        self.remove_queued(next, pcpu);
+        self.stats.global.preemptions += 1;
+        self.stats.vcpu_mut(cur).preemptions += 1;
+        self.stop_current(pcpu, RunState::Runnable, now, &mut out);
+        self.dispatch(pcpu, next, now, ScheduleReason::Degrade, &mut out);
+        out
+    }
+
     /// Wakes `v` from the blocked state: places it (by load when unpinned),
     /// grants BOOST where eligible, and tickles the target pCPU.
     ///
@@ -251,10 +288,15 @@ impl Hypervisor {
     pub fn sched_op(&mut self, v: VcpuRef, op: SchedOp, now: SimTime) -> Vec<HvAction> {
         let mut out = self.out_buf();
         let home = self.vc(v).home;
-        let was_sa = self.vc(v).sa_pending && self.pcpus[home.0].sa_wait == Some(v);
+        // The acknowledgement must release the pCPU that is actually frozen
+        // on `v` — after a re-home race that may no longer be `v`'s home, so
+        // search rather than trust the home index (mirrors `sa_timeout`).
+        let frozen = self.pcpus.iter().position(|p| p.sa_wait == Some(v));
+        let was_sa = self.vc(v).sa_pending && frozen.is_some();
         if was_sa {
+            let p = frozen.unwrap();
             self.vc_mut(v).sa_pending = false;
-            self.pcpus[home.0].sa_wait = None;
+            self.pcpus[p].sa_wait = None;
             self.stats.global.sa_acked += 1;
             let op_str = match op {
                 SchedOp::Block => "SCHEDOP_block",
@@ -265,6 +307,11 @@ impl Hypervisor {
                 vcpu: v.idx,
                 op: op_str,
             });
+            if self.pcpus[p].current != Some(v) {
+                // The freeze outlived `v`'s tenure on that pCPU: unfreezing
+                // must reschedule it, or it idles frozen forever.
+                self.do_schedule(PcpuId(p), now, ScheduleReason::SaAck, false, &mut out);
+            }
         }
         if self.pcpus[home.0].current != Some(v) || self.vc(v).state() != RunState::Running {
             return out; // spurious: only the running vCPU can hypercall
@@ -654,6 +701,67 @@ mod tests {
         assert_eq!(info1.vcpu, VcpuRef::new(vm, 0));
         assert_eq!(info1.since, t(30), "slice baseline refreshed");
         assert_ne!(info1.generation, info0.generation);
+    }
+
+    #[test]
+    fn force_preempt_swaps_mid_slice() {
+        let mut hv = Hypervisor::new(XenConfig::default(), 1);
+        hv.create_vm(VmSpec::new(1).pin_all(PcpuId(0)));
+        hv.create_vm(VmSpec::new(1).pin_all(PcpuId(0)));
+        hv.start(t(0));
+        let first = hv.pcpu_current(PcpuId(0)).unwrap();
+        // Mid-slice, equal priority: the regular expiry path refuses...
+        let gen = hv.dispatch_info(PcpuId(0)).unwrap().generation;
+        hv.slice_expired(PcpuId(0), gen, t(5));
+        assert_eq!(hv.pcpu_current(PcpuId(0)), Some(first));
+        // ...but a forced maintenance preemption must not.
+        let acts = hv.force_preempt(PcpuId(0), t(5));
+        hv.check_invariants();
+        assert_ne!(hv.pcpu_current(PcpuId(0)), Some(first));
+        assert_eq!(hv.vcpu_state(first), RunState::Runnable);
+        assert!(acts
+            .iter()
+            .any(|x| matches!(x, HvAction::VcpuStopped { state: RunState::Runnable, .. })));
+    }
+
+    #[test]
+    fn force_preempt_is_noop_without_competition() {
+        let mut hv = Hypervisor::new(XenConfig::default(), 1);
+        hv.create_vm(VmSpec::new(1).pin_all(PcpuId(0)));
+        hv.start(t(0));
+        let current = hv.pcpu_current(PcpuId(0));
+        let acts = hv.force_preempt(PcpuId(0), t(5));
+        assert!(acts.is_empty());
+        assert_eq!(hv.pcpu_current(PcpuId(0)), current);
+    }
+
+    #[test]
+    fn force_preempt_opens_an_sa_round_for_capable_vms() {
+        let cfg = XenConfig {
+            sa: Some(crate::config::SaConfig::default()),
+            ..XenConfig::default()
+        };
+        let mut hv = Hypervisor::new(cfg, 1);
+        let a = hv.create_vm(VmSpec::new(1).pin_all(PcpuId(0)).sa_capable(true));
+        hv.create_vm(VmSpec::new(1).pin_all(PcpuId(0)));
+        hv.start(t(0));
+        let va = VcpuRef::new(a, 0);
+        if hv.pcpu_current(PcpuId(0)) != Some(va) {
+            // Rotate until the SA-capable vCPU holds the pCPU.
+            hv.force_preempt(PcpuId(0), t(1));
+        }
+        assert_eq!(hv.pcpu_current(PcpuId(0)), Some(va));
+        let acts = hv.force_preempt(PcpuId(0), t(5));
+        hv.check_invariants();
+        // The victim is not silently switched out: it gets an SA round and
+        // the pCPU freezes awaiting the acknowledgement.
+        assert!(hv.is_sa_pending(va));
+        assert_eq!(hv.pcpu_sa_wait(PcpuId(0)), Some(va));
+        assert!(acts
+            .iter()
+            .any(|x| matches!(x, HvAction::DeliverVirq { .. })));
+        // While frozen, further degradation hits are no-ops.
+        assert!(hv.force_preempt(PcpuId(0), t(6)).is_empty());
     }
 
     #[test]

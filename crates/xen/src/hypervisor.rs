@@ -306,6 +306,13 @@ impl Hypervisor {
         self.vc(v).sa_pending
     }
 
+    /// The vCPU (if any) whose pending SA acknowledgement has `pcpu`'s
+    /// scheduling frozen. External invariant checkers use this to prove no
+    /// pCPU stays frozen past the completion limit.
+    pub fn pcpu_sa_wait(&self, pcpu: PcpuId) -> Option<VcpuRef> {
+        self.pcpus[pcpu.0].sa_wait
+    }
+
     /// SA round counter for `v` (guards stale timeout events).
     pub fn sa_generation(&self, v: VcpuRef) -> u64 {
         self.vc(v).sa_gen

@@ -76,24 +76,44 @@ impl Hypervisor {
                 return out; // stale: the guest acknowledged in time
             }
         }
-        let home = self.vc(vcpu).home;
-        debug_assert_eq!(self.pcpus[home.0].sa_wait, Some(vcpu));
         self.vc_mut(vcpu).sa_pending = false;
-        self.pcpus[home.0].sa_wait = None;
         self.stats.global.sa_timeouts += 1;
         self.trace.emit(now, || TraceEvent::SaTimeout {
             vm: vcpu.vm.0,
             vcpu: vcpu.idx,
         });
 
-        if self.pcpus[home.0].current == Some(vcpu)
+        // The frozen pCPU is normally the vCPU's home, but trusting `home`
+        // here force-schedules the wrong pCPU if the vCPU was re-homed
+        // between send and timeout (a migration/work-steal race, or a
+        // fault-injected interleaving). Find the pCPU that is actually
+        // frozen on this round instead, and release exactly that one.
+        let frozen = self
+            .pcpus
+            .iter()
+            .position(|p| p.sa_wait == Some(vcpu))
+            .map(PcpuId);
+        let Some(pcpu) = frozen else {
+            // No pCPU is frozen on this round any more; clearing the
+            // pending flag above was all there was left to do.
+            return out;
+        };
+        self.pcpus[pcpu.0].sa_wait = None;
+
+        if self.pcpus[pcpu.0].current == Some(vcpu)
             && self.vc(vcpu).state() == RunState::Running
         {
             self.vc_mut(vcpu).yield_bias = true;
             self.stats.global.preemptions += 1;
             self.stats.vcpu_mut(vcpu).preemptions += 1;
-            self.stop_current(home, RunState::Runnable, now, &mut out);
-            self.do_schedule(home, now, ScheduleReason::SaTimeout, false, &mut out);
+            self.stop_current(pcpu, RunState::Runnable, now, &mut out);
+            self.do_schedule(pcpu, now, ScheduleReason::SaTimeout, false, &mut out);
+        } else {
+            // The waited-on vCPU is no longer current on the frozen pCPU:
+            // there is nothing to force off, but the pCPU was refusing to
+            // schedule while frozen, so it must be kicked or it idles
+            // forever.
+            self.do_schedule(pcpu, now, ScheduleReason::SaTimeout, false, &mut out);
         }
         out
     }
@@ -275,6 +295,95 @@ mod tests {
         // Guest acks; the boosted waker takes over.
         hv.sched_op(vfg, SchedOp::Yield, t(40) + SimTime::from_micros(25));
         assert_eq!(hv.pcpu_current(PcpuId(0)), Some(vio));
+        hv.check_invariants();
+    }
+
+    #[test]
+    fn timeout_is_idempotent() {
+        // Regression: a second timeout for the same round (duplicate or
+        // late-queued event) must be a no-op, not a double force.
+        let (mut hv, vfg, vbg) = trigger_sa();
+        let generation = hv.sa_generation(vfg);
+        hv.sa_timeout(vfg, generation, t(61));
+        assert_eq!(hv.pcpu_current(PcpuId(0)), Some(vbg));
+        let acts = hv.sa_timeout(vfg, generation, t(62));
+        assert!(acts.is_empty());
+        assert_eq!(hv.stats().sa_timeouts, 1);
+        assert_eq!(hv.stats().preemptions, 1);
+        hv.check_invariants();
+    }
+
+    #[test]
+    fn stale_timeout_after_rehome_leaves_new_home_alone() {
+        // Regression for the wrong-pCPU force: the guest acks with Block,
+        // the vCPU later wakes and is re-dispatched (possibly on another
+        // pCPU under migration), and only then does the old round's timeout
+        // event pop. It must not disturb the new dispatch.
+        let (mut hv, vfg, vbg) = trigger_sa();
+        let generation = hv.sa_generation(vfg);
+        hv.sched_op(vfg, SchedOp::Block, t(61));
+        assert_eq!(hv.pcpu_current(PcpuId(0)), Some(vbg));
+        // vfg wakes with BOOST; a fresh SA round starts against vbg, which
+        // acks, handing the pCPU to vfg.
+        hv.vcpu_wake(vfg, t(70));
+        if hv.is_sa_pending(vbg) {
+            hv.sched_op(vbg, SchedOp::Yield, t(70) + SimTime::from_micros(25));
+        }
+        assert_eq!(hv.pcpu_current(PcpuId(0)), Some(vfg));
+        let info_before = hv.dispatch_info(PcpuId(0)).unwrap();
+        // The stale timeout from the acked round fires now.
+        let acts = hv.sa_timeout(vfg, generation, t(71));
+        assert!(acts.is_empty(), "stale timeout must not touch the pCPU");
+        assert_eq!(hv.stats().sa_timeouts, 0);
+        assert_eq!(hv.dispatch_info(PcpuId(0)).unwrap(), info_before);
+        hv.check_invariants();
+    }
+
+    #[test]
+    fn timeout_recovers_a_freeze_without_a_current() {
+        // Regression: if an interleaving ever deschedules the waited-on
+        // vCPU while its pCPU is frozen (the state the old
+        // `debug_assert_eq!(pcpus[home].sa_wait, Some(vcpu))` assumed away),
+        // the timeout must still release the freeze and reschedule the
+        // pCPU instead of panicking or leaving it frozen forever. The state
+        // is constructed directly — no public-API sequence produces it
+        // today, which is exactly why the recovery path needs pinning.
+        let (mut hv, vfg, _vbg) = trigger_sa();
+        let generation = hv.sa_generation(vfg);
+        // Simulate the rogue deschedule: vfg off the pCPU, queued runnable,
+        // freeze left behind.
+        hv.pcpus[0].current = None;
+        hv.vc_mut(vfg).clock.transition(RunState::Runnable, t(60));
+        hv.enqueue(vfg, PcpuId(0));
+        assert_eq!(hv.pcpu_sa_wait(PcpuId(0)), Some(vfg));
+
+        let acts = hv.sa_timeout(vfg, generation, t(61));
+        assert_eq!(hv.pcpu_sa_wait(PcpuId(0)), None, "freeze released");
+        assert!(!hv.is_sa_pending(vfg));
+        assert!(
+            hv.pcpu_current(PcpuId(0)).is_some(),
+            "the unfrozen pCPU must schedule again, got {acts:?}"
+        );
+        hv.check_invariants();
+    }
+
+    #[test]
+    fn ack_recovers_a_freeze_without_a_current() {
+        // Same constructed race as above, resolved through the ack path:
+        // `sched_op` must release the freeze and kick the pCPU even though
+        // the acknowledging vCPU is no longer current there (the spurious
+        // guard used to swallow the unfreeze).
+        let (mut hv, vfg, _vbg) = trigger_sa();
+        hv.pcpus[0].current = None;
+        hv.vc_mut(vfg).clock.transition(RunState::Runnable, t(60));
+        hv.enqueue(vfg, PcpuId(0));
+        assert_eq!(hv.pcpu_sa_wait(PcpuId(0)), Some(vfg));
+
+        hv.sched_op(vfg, SchedOp::Yield, t(61));
+        assert_eq!(hv.pcpu_sa_wait(PcpuId(0)), None, "freeze released");
+        assert!(!hv.is_sa_pending(vfg));
+        assert_eq!(hv.stats().sa_acked, 1);
+        assert!(hv.pcpu_current(PcpuId(0)).is_some(), "pCPU rescheduled");
         hv.check_invariants();
     }
 

@@ -1,5 +1,12 @@
 //! Property tests: the hypervisor's invariants survive arbitrary
 //! interleavings of scheduling operations.
+//!
+//! SA timeouts are exercised three ways: `SaTimeoutLive` draws its target
+//! and generation from the *live pending rounds*, so it always passes the
+//! staleness guard and reaches the force-preemption branch; `SaTimeoutStale`
+//! replays a previously resolved `(vcpu, generation)` pair, modelling the
+//! late-queued timeout event of an already-acked round; `SaTimeoutAny`
+//! keeps the original arbitrary-target probing.
 
 use irs_sim::SimTime;
 use irs_xen::{Hypervisor, PcpuId, RunState, SaConfig, SchedOp, VcpuRef, VmId, VmSpec, XenConfig};
@@ -16,7 +23,13 @@ enum Op {
     Yield(u8, u8),
     SaAckYield(u8, u8),
     SaAckBlock(u8, u8),
-    SaTimeout(u8, u8),
+    /// Timeout for a live pending round, selected by index: always fresh,
+    /// always able to reach the force-preemption branch.
+    SaTimeoutLive(u8),
+    /// Replay of a resolved round's timeout: always stale, must be a no-op.
+    SaTimeoutStale(u8),
+    /// Arbitrary-target timeout at the vCPU's current generation.
+    SaTimeoutAny(u8, u8),
     PleExit(u8, u8),
 }
 
@@ -30,7 +43,9 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         (0u8..3, 0u8..4).prop_map(|(a, b)| Op::Yield(a, b)),
         (0u8..3, 0u8..4).prop_map(|(a, b)| Op::SaAckYield(a, b)),
         (0u8..3, 0u8..4).prop_map(|(a, b)| Op::SaAckBlock(a, b)),
-        (0u8..3, 0u8..4).prop_map(|(a, b)| Op::SaTimeout(a, b)),
+        any::<u8>().prop_map(Op::SaTimeoutLive),
+        any::<u8>().prop_map(Op::SaTimeoutStale),
+        (0u8..3, 0u8..4).prop_map(|(a, b)| Op::SaTimeoutAny(a, b)),
         (0u8..3, 0u8..4).prop_map(|(a, b)| Op::PleExit(a, b)),
     ]
 }
@@ -54,7 +69,17 @@ fn build(pinned: bool, sa: bool) -> Hypervisor {
     hv
 }
 
-fn apply(hv: &mut Hypervisor, op: Op, now: SimTime) {
+/// Every `(vcpu, generation)` SA round currently pending.
+fn live_rounds(hv: &Hypervisor) -> Vec<(VcpuRef, u64)> {
+    hv.all_vcpus()
+        .collect::<Vec<_>>()
+        .into_iter()
+        .filter(|&v| hv.is_sa_pending(v))
+        .map(|v| (v, hv.sa_generation(v)))
+        .collect()
+}
+
+fn apply(hv: &mut Hypervisor, op: Op, now: SimTime, stale: &[(VcpuRef, u64)]) {
     let v = |a: u8, b: u8| VcpuRef::new(VmId(a as usize), b as usize);
     match op {
         Op::Tick => {
@@ -83,13 +108,43 @@ fn apply(hv: &mut Hypervisor, op: Op, now: SimTime) {
         Op::SaAckBlock(a, b) => {
             hv.sched_op(v(a, b), SchedOp::Block, now);
         }
-        Op::SaTimeout(a, b) => {
+        Op::SaTimeoutLive(i) => {
+            let live = live_rounds(hv);
+            if !live.is_empty() {
+                let (target, gen) = live[i as usize % live.len()];
+                hv.sa_timeout(target, gen, now);
+            }
+        }
+        Op::SaTimeoutStale(i) => {
+            if !stale.is_empty() {
+                let (target, gen) = stale[i as usize % stale.len()];
+                hv.sa_timeout(target, gen, now);
+            }
+        }
+        Op::SaTimeoutAny(a, b) => {
             let gen = hv.sa_generation(v(a, b));
             hv.sa_timeout(v(a, b), gen, now);
         }
         Op::PleExit(a, b) => {
             hv.ple_exit(v(a, b), now);
         }
+    }
+}
+
+/// Applies `op` and records every round it resolved into `stale`, so later
+/// `SaTimeoutStale` ops can replay genuinely dead `(vcpu, generation)`
+/// pairs — the shape a late-queued timeout event has in the full system.
+fn apply_tracked(hv: &mut Hypervisor, op: Op, now: SimTime, stale: &mut Vec<(VcpuRef, u64)>) {
+    let before = live_rounds(hv);
+    apply(hv, op, now, stale);
+    for (v, gen) in before {
+        if (!hv.is_sa_pending(v) || hv.sa_generation(v) != gen) && !stale.contains(&(v, gen)) {
+            stale.push((v, gen));
+        }
+    }
+    let excess = stale.len().saturating_sub(64);
+    if excess > 0 {
+        stale.drain(..excess);
     }
 }
 
@@ -100,10 +155,11 @@ proptest! {
     #[test]
     fn invariants_pinned(ops in prop::collection::vec(op_strategy(), 1..200)) {
         let mut hv = build(true, true);
+        let mut stale = Vec::new();
         let mut now = SimTime::ZERO;
         for op in ops {
             now += SimTime::from_micros(137);
-            apply(&mut hv, op, now);
+            apply_tracked(&mut hv, op, now, &mut stale);
             hv.check_invariants();
         }
     }
@@ -112,10 +168,11 @@ proptest! {
     #[test]
     fn invariants_unpinned(ops in prop::collection::vec(op_strategy(), 1..200)) {
         let mut hv = build(false, true);
+        let mut stale = Vec::new();
         let mut now = SimTime::ZERO;
         for op in ops {
             now += SimTime::from_micros(211);
-            apply(&mut hv, op, now);
+            apply_tracked(&mut hv, op, now, &mut stale);
             hv.check_invariants();
         }
     }
@@ -124,10 +181,11 @@ proptest! {
     #[test]
     fn credits_bounded(ops in prop::collection::vec(op_strategy(), 1..150)) {
         let mut hv = build(true, false);
+        let mut stale = Vec::new();
         let mut now = SimTime::ZERO;
         for op in ops {
             now += SimTime::from_micros(401);
-            apply(&mut hv, op, now);
+            apply_tracked(&mut hv, op, now, &mut stale);
             for v in hv.all_vcpus().collect::<Vec<_>>() {
                 let c = hv.vcpu_credits(v);
                 prop_assert!((-300..=300).contains(&c), "{v} credits {c}");
@@ -140,10 +198,11 @@ proptest! {
     #[test]
     fn runstate_accounting_conserves_time(ops in prop::collection::vec(op_strategy(), 1..150)) {
         let mut hv = build(true, true);
+        let mut stale = Vec::new();
         let mut now = SimTime::ZERO;
         for op in ops {
             now += SimTime::from_micros(733);
-            apply(&mut hv, op, now);
+            apply_tracked(&mut hv, op, now, &mut stale);
         }
         for v in hv.all_vcpus().collect::<Vec<_>>() {
             let info = hv.runstate(v, now);
@@ -165,10 +224,11 @@ proptest! {
     #[test]
     fn no_idle_with_queued_work(ops in prop::collection::vec(op_strategy(), 1..200)) {
         let mut hv = build(true, false);
+        let mut stale = Vec::new();
         let mut now = SimTime::ZERO;
         for op in ops {
             now += SimTime::from_micros(97);
-            apply(&mut hv, op, now);
+            apply_tracked(&mut hv, op, now, &mut stale);
             for p in 0..4usize {
                 let idle = hv.pcpu_current(PcpuId(p)).is_none();
                 if idle {
@@ -185,6 +245,32 @@ proptest! {
                     prop_assert_eq!(stranded, 0, "pcpu{} idle with {} runnable", p, stranded);
                 }
             }
+        }
+    }
+
+    /// Every pending round is resolvable through its completion-limit
+    /// timeout: after an arbitrary interleaving, delivering the live
+    /// timeout for each still-pending round releases every frozen pCPU,
+    /// clears every pending flag, and leaves the machine consistent.
+    #[test]
+    fn pending_rounds_always_resolvable(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut hv = build(false, true);
+        let mut stale = Vec::new();
+        let mut now = SimTime::ZERO;
+        for op in ops {
+            now += SimTime::from_micros(173);
+            apply_tracked(&mut hv, op, now, &mut stale);
+        }
+        now += SimTime::from_micros(500);
+        for (v, gen) in live_rounds(&hv) {
+            hv.sa_timeout(v, gen, now);
+        }
+        hv.check_invariants();
+        for p in 0..4usize {
+            prop_assert!(hv.pcpu_sa_wait(PcpuId(p)).is_none(), "pcpu{} still frozen", p);
+        }
+        for v in hv.all_vcpus().collect::<Vec<_>>() {
+            prop_assert!(!hv.is_sa_pending(v), "{} round never resolved", v);
         }
     }
 }

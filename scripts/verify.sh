@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification: release build, full test suite, a lint gate, a
-# checked strategy sweep (online invariant sanitizer armed), and a
-# parallel-runner smoke test. Also regenerates BENCH_runner.json (via
+# checked strategy sweep (online invariant sanitizer armed), a
+# parallel-runner smoke test, and a checked fault-injection chaos smoke.
+# Also regenerates BENCH_runner.json (via
 # `figures perf`) and records the total verification wall-clock in its
 # `verify_wall_s` field.
 #
@@ -25,6 +26,9 @@ echo "== figures checked sweep (invariant sanitizer, all strategies) =="
 
 echo "== figures smoke (parallel fan-out) =="
 ./target/release/figures core --quick --seeds 2 --jobs 2 >/dev/null
+
+echo "== figures chaos (fault-injection campaign, sanitizer armed) =="
+./target/release/figures chaos --quick --check --jobs 2 >/dev/null
 
 echo "== figures perf (writes BENCH_runner.json) =="
 ./target/release/figures perf --quick --jobs 2
