@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! figures <experiment>... [--seeds N] [--base-seed S] [--jobs N] [--quick]
-//!                         [--check] [--csv DIR]
+//!                         [--check] [--tickless] [--check-perf] [--csv DIR]
 //! ```
 //!
 //! Experiment names are listed by [`usage`], generated from the one
@@ -21,6 +21,13 @@
 //! ([`irs_core::check`]) for every simulated run: each system validates
 //! scheduler invariants after every event and panics with a trace dump on
 //! the first violation. Tables are identical with and without it.
+//! `--tickless` arms tickless fast-forward for every run: quiescent timer
+//! ticks are elided and replayed in closed form instead of dispatched.
+//! Tables are identical with and without it — it only changes wall-clock.
+//! `--check-perf` turns `perf` into a regression gate: exit non-zero if
+//! the combined speedup (ticked sequential over tickless parallel) falls
+//! below 1.0. Each `perf` invocation also appends one summary line to
+//! `BENCH_history.jsonl` for trend tracking.
 
 use irs_bench::fig5_6::Interference;
 use irs_bench::Opts;
@@ -67,7 +74,7 @@ fn usage() -> ! {
             .join(" ")
     };
     eprintln!(
-        "usage: figures <experiment>... [--seeds N] [--base-seed S] [--jobs N] [--quick] [--check] [--csv DIR]\n\
+        "usage: figures <experiment>... [--seeds N] [--base-seed S] [--jobs N] [--quick] [--check] [--tickless] [--check-perf] [--csv DIR]\n\
          experiments:\n\
          \u{20} {}\n\
          \u{20} {}\n\
@@ -134,6 +141,29 @@ fn run_experiment(exp: &str, opts: Opts) -> Vec<Table> {
     }
 }
 
+/// Appends one summary line for this `perf` invocation to
+/// `BENCH_history.jsonl` (append-only trend log: commit, worker count,
+/// throughput, combined speedup). History is best-effort — a read-only
+/// checkout warns instead of failing the benchmark.
+fn append_history(report: &irs_bench::perf::PerfReport) {
+    let commit = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string());
+    let line = report.to_history_line(&commit);
+    let appended = std::fs::OpenOptions::new()
+        .append(true)
+        .create(true)
+        .open("BENCH_history.jsonl")
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+    if let Err(e) = appended {
+        eprintln!("cannot append to BENCH_history.jsonl: {e}");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -141,6 +171,7 @@ fn main() {
     }
     let mut opts = Opts::default();
     let mut csv_dir: Option<String> = None;
+    let mut check_perf = false;
     let mut experiments: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -162,6 +193,8 @@ fn main() {
                 irs_core::parallel::set_default_jobs(opts.jobs);
             }
             "--check" => irs_core::check::set_check_enabled(true),
+            "--tickless" => irs_core::set_tickless_enabled(true),
+            "--check-perf" => check_perf = true,
             "--csv" => {
                 csv_dir = Some(it.next().unwrap_or_else(|| usage()));
             }
@@ -206,8 +239,18 @@ fn main() {
                 eprintln!("cannot write BENCH_runner.json: {e}");
                 std::process::exit(1);
             }
+            append_history(&report);
             eprintln!("[perf done in {:.1}s]", start.elapsed().as_secs_f64());
             println!();
+            if check_perf && report.speedup() < 1.0 {
+                eprintln!(
+                    "perf regression: combined speedup {:.3} < 1.0 \
+                     (tickless fast-forward + {} workers must beat the ticked sequential baseline)",
+                    report.speedup(),
+                    report.parallel_jobs,
+                );
+                std::process::exit(1);
+            }
             continue;
         }
         let tables = run_experiment(&exp, opts);

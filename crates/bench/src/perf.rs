@@ -1,19 +1,36 @@
-//! `figures perf` — self-benchmark of the simulation engine.
+//! `figures perf` — self-benchmark and regression gate of the simulation
+//! engine.
 //!
-//! Runs a fixed mix of scenarios twice — once sequentially (`jobs = 1`)
-//! and once at the requested worker count — and reports wall-clock,
-//! speedup, and events/sec, plus a micro-benchmark of the event-queue
-//! hot path. The engine is deterministic, so the two passes perform the
-//! same work; only wall-clock differs.
+//! Runs a fixed mix of scenarios three times over the same grid:
+//!
+//! 1. **ticked sequential** — `jobs = 1`, tickless off: the baseline cost
+//!    of dispatching every event;
+//! 2. **tickless sequential** — `jobs = 1`, tickless fast-forward on: what
+//!    event elision alone buys;
+//! 3. **tickless parallel** — `opts.jobs` workers on the persistent pool,
+//!    tickless on: the configuration `figures --tickless --jobs N` runs.
+//!
+//! The engine is deterministic and tickless is a pure wall-clock
+//! optimisation, so all three passes must produce bit-identical results —
+//! the harness asserts it (`Debug` rendering, which is
+//! shortest-roundtrip for every float) before reporting. The headline
+//! `speedup` is ticked-sequential over tickless-parallel: the combined
+//! win of both engine optimisations, which is also what the `--check-perf`
+//! regression gate holds at ≥ 1.0 (single-core CI boxes cannot promise
+//! thread-level scaling, but elision + pool must never make the engine
+//! *slower* than the naive baseline).
 //!
 //! An untimed warm-up pass runs first and doubles as a probe: the mix is
 //! repeated enough times that each timed pass lasts at least
-//! [`MIN_TIMED_WALL_S`]. Without the scaling, a release-mode mix finishes
-//! in ~10 ms and the parallel pass mostly measures worker-thread startup —
-//! which is how an earlier report shipped a "speedup" of 0.76x.
+//! [`MIN_TIMED_WALL_S`] and the grid holds at least [`MIN_GRID_RUNS`]
+//! runs. Without the scaling, a release-mode mix finishes in ~10 ms and
+//! the parallel pass mostly measures pool startup — which is how an
+//! earlier report shipped a "speedup" of 0.76x.
 //!
-//! The report serializes to `BENCH_runner.json`; `scripts/verify.sh`
-//! fills in the trailing `verify_wall_s` field.
+//! The report serializes to `BENCH_runner.json` (per-phase walls,
+//! speedups, `tickless_events_saved`); `scripts/verify.sh` fills in the
+//! trailing `verify_wall_s` field. `figures perf` also appends one line
+//! per invocation to `BENCH_history.jsonl` for trend tracking.
 
 use crate::Opts;
 use irs_core::{parallel, Scenario, Strategy};
@@ -23,16 +40,23 @@ use std::time::Instant;
 /// Wall-clock and throughput numbers from one [`perf`] run.
 #[derive(Debug, Clone)]
 pub struct PerfReport {
-    /// Independent simulation runs in the timed mix.
+    /// Independent simulation runs in the timed grid.
     pub runs: usize,
-    /// Discrete events processed across the mix (same for both passes).
+    /// Discrete events processed across the grid (identical in all three
+    /// passes — elided events still count).
     pub events: u64,
-    /// Wall-clock of the sequential pass, seconds.
-    pub sequential_wall_s: f64,
-    /// Wall-clock of the parallel pass, seconds.
+    /// Wall-clock of the ticked sequential pass, seconds.
+    pub ticked_wall_s: f64,
+    /// Wall-clock of the tickless sequential pass, seconds.
+    pub tickless_wall_s: f64,
+    /// Wall-clock of the tickless parallel pass, seconds.
     pub parallel_wall_s: f64,
     /// Worker count the parallel pass ran with.
     pub parallel_jobs: usize,
+    /// Events elided by tickless fast-forward across the grid (counted
+    /// during the tickless sequential pass; the parallel pass elides the
+    /// same events).
+    pub tickless_events_saved: u64,
     /// Event-queue micro-benchmark: schedule/cancel/pop operations per
     /// second under a churn pattern that keeps the slab and tombstone
     /// machinery hot.
@@ -40,38 +64,76 @@ pub struct PerfReport {
 }
 
 impl PerfReport {
-    /// Sequential-pass throughput in simulation events per second.
-    pub fn sequential_events_per_sec(&self) -> f64 {
-        self.events as f64 / self.sequential_wall_s.max(1e-9)
+    /// Ticked sequential throughput in simulation events per second.
+    pub fn ticked_events_per_sec(&self) -> f64 {
+        self.events as f64 / self.ticked_wall_s.max(1e-9)
     }
 
-    /// Parallel-pass throughput in simulation events per second.
+    /// Tickless parallel throughput in simulation events per second.
     pub fn parallel_events_per_sec(&self) -> f64 {
         self.events as f64 / self.parallel_wall_s.max(1e-9)
     }
 
-    /// Sequential wall-clock over parallel wall-clock.
+    /// What tickless fast-forward alone buys: ticked over tickless
+    /// wall-clock, both sequential.
+    pub fn tickless_speedup(&self) -> f64 {
+        self.ticked_wall_s / self.tickless_wall_s.max(1e-9)
+    }
+
+    /// What the worker pool alone buys: tickless sequential over tickless
+    /// parallel wall-clock.
+    pub fn parallel_speedup(&self) -> f64 {
+        self.tickless_wall_s / self.parallel_wall_s.max(1e-9)
+    }
+
+    /// The headline: ticked sequential over tickless parallel — the
+    /// combined benefit of elision and the pool, and what `--check-perf`
+    /// gates on.
     pub fn speedup(&self) -> f64 {
-        self.sequential_wall_s / self.parallel_wall_s.max(1e-9)
+        self.ticked_wall_s / self.parallel_wall_s.max(1e-9)
+    }
+
+    /// Fraction of all events the tickless passes elided.
+    pub fn saved_frac(&self) -> f64 {
+        self.tickless_events_saved as f64 / (self.events.max(1)) as f64
     }
 
     /// The `BENCH_runner.json` payload. `verify_wall_s` is emitted null;
     /// `scripts/verify.sh` substitutes the measured value.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\n  \"runs\": {},\n  \"events\": {},\n  \"sequential_wall_s\": {:.6},\n  \
-             \"parallel_wall_s\": {:.6},\n  \"parallel_jobs\": {},\n  \"speedup\": {:.3},\n  \
-             \"sequential_events_per_sec\": {:.0},\n  \"parallel_events_per_sec\": {:.0},\n  \
+            "{{\n  \"runs\": {},\n  \"events\": {},\n  \"ticked_wall_s\": {:.6},\n  \
+             \"tickless_wall_s\": {:.6},\n  \"parallel_wall_s\": {:.6},\n  \
+             \"parallel_jobs\": {},\n  \"speedup\": {:.3},\n  \
+             \"tickless_speedup\": {:.3},\n  \"parallel_speedup\": {:.3},\n  \
+             \"tickless_events_saved\": {},\n  \"tickless_saved_frac\": {:.4},\n  \
+             \"ticked_events_per_sec\": {:.0},\n  \"parallel_events_per_sec\": {:.0},\n  \
              \"queue_ops_per_sec\": {:.0},\n  \"verify_wall_s\": null\n}}\n",
             self.runs,
             self.events,
-            self.sequential_wall_s,
+            self.ticked_wall_s,
+            self.tickless_wall_s,
             self.parallel_wall_s,
             self.parallel_jobs,
             self.speedup(),
-            self.sequential_events_per_sec(),
+            self.tickless_speedup(),
+            self.parallel_speedup(),
+            self.tickless_events_saved,
+            self.saved_frac(),
+            self.ticked_events_per_sec(),
             self.parallel_events_per_sec(),
             self.queue_ops_per_sec,
+        )
+    }
+
+    /// One `BENCH_history.jsonl` line: the trend-tracking essentials.
+    pub fn to_history_line(&self, commit: &str) -> String {
+        format!(
+            "{{\"commit\": \"{}\", \"jobs\": {}, \"events_per_sec\": {:.0}, \"speedup\": {:.3}}}\n",
+            commit,
+            self.parallel_jobs,
+            self.parallel_events_per_sec(),
+            self.speedup(),
         )
     }
 
@@ -79,16 +141,22 @@ impl PerfReport {
     pub fn render(&self) -> String {
         format!(
             "engine self-benchmark ({} runs, {} events)\n\
-             \u{20} sequential: {:>8.3} s  ({:.0} events/s)\n\
-             \u{20} {:>2} workers: {:>8.3} s  ({:.0} events/s, {:.2}x)\n\
+             \u{20} ticked  seq: {:>8.3} s  ({:.0} events/s)\n\
+             \u{20} tickless seq: {:>7.3} s  ({:.2}x, {} events elided = {:.1}%)\n\
+             \u{20} {:>2} workers: {:>8.3} s  ({:.0} events/s, {:.2}x pool, {:.2}x combined)\n\
              \u{20} event queue: {:.2}M ops/s (schedule/cancel/pop churn)\n",
             self.runs,
             self.events,
-            self.sequential_wall_s,
-            self.sequential_events_per_sec(),
+            self.ticked_wall_s,
+            self.ticked_events_per_sec(),
+            self.tickless_wall_s,
+            self.tickless_speedup(),
+            self.tickless_events_saved,
+            100.0 * self.saved_frac(),
             self.parallel_jobs,
             self.parallel_wall_s,
             self.parallel_events_per_sec(),
+            self.parallel_speedup(),
             self.speedup(),
             self.queue_ops_per_sec / 1e6,
         )
@@ -107,16 +175,20 @@ const MIX: [(&str, usize, Strategy); 6] = [
     ("swaptions", 2, Strategy::Irs),
 ];
 
-/// Minimum wall-clock of each timed pass. Worker-thread startup in
-/// [`parallel::ordered_map`] costs on the order of 100 µs per worker; a
-/// pass must dwarf that or "speedup" measures thread spawning, not the
-/// engine.
+/// Minimum wall-clock of each timed pass. Pool wake-up costs microseconds
+/// per campaign, but a pass must still dwarf scheduling noise or
+/// "speedup" measures jitter, not the engine.
 const MIN_TIMED_WALL_S: f64 = 0.5;
 
-/// Times the mix sequentially and at `opts.jobs` workers and returns the
-/// combined report. `opts.seeds` seeds per mix entry; the whole mix is
-/// then repeated (identically — the engine is deterministic) until a
-/// timed pass is expected to take at least [`MIN_TIMED_WALL_S`].
+/// Minimum grid size: the regression gate is specified over a grid of at
+/// least this many runs, so short machines scale up by repetition.
+const MIN_GRID_RUNS: usize = 200;
+
+/// Times the grid in all three configurations and returns the combined
+/// report. `opts.seeds` seeds per mix entry; the whole mix is then
+/// repeated (identically — the engine is deterministic) until a timed
+/// pass is expected to take at least [`MIN_TIMED_WALL_S`] and the grid
+/// holds at least [`MIN_GRID_RUNS`] runs.
 pub fn perf(opts: Opts) -> PerfReport {
     let per = opts.seeds.max(1) as usize;
     let base_runs = MIX.len() * per;
@@ -132,27 +204,55 @@ pub fn perf(opts: Opts) -> PerfReport {
     let t_probe = Instant::now();
     let _ = parallel::ordered_map(1, base_runs, job);
     let probe_wall_s = t_probe.elapsed().as_secs_f64();
-    let repeat = (MIN_TIMED_WALL_S / probe_wall_s.max(1e-6)).ceil() as usize;
-    let runs = base_runs * repeat.clamp(1, 4096);
+    let repeat_for_wall = (MIN_TIMED_WALL_S / probe_wall_s.max(1e-6)).ceil() as usize;
+    let repeat_for_grid = MIN_GRID_RUNS.div_ceil(base_runs);
+    let runs = base_runs * repeat_for_wall.max(repeat_for_grid).clamp(1, 4096);
 
+    // Phase 1: ticked sequential (the pre-tickless baseline).
+    irs_core::set_tickless_enabled(false);
+    let _ = irs_core::take_tickless_events_saved();
     let t0 = Instant::now();
-    let sequential = parallel::ordered_map(1, runs, job);
-    let sequential_wall_s = t0.elapsed().as_secs_f64();
-    let events: u64 = sequential.iter().map(|r| r.events).sum();
+    let ticked = parallel::ordered_map(1, runs, job);
+    let ticked_wall_s = t0.elapsed().as_secs_f64();
+    let events: u64 = ticked.iter().map(|r| r.events).sum();
 
-    let parallel_jobs = parallel::resolve_jobs(opts.jobs);
+    // Phase 2: tickless sequential — same grid, fast-forward armed.
+    irs_core::set_tickless_enabled(true);
     let t1 = Instant::now();
+    let tickless = parallel::ordered_map(1, runs, job);
+    let tickless_wall_s = t1.elapsed().as_secs_f64();
+    let tickless_events_saved = irs_core::take_tickless_events_saved();
+
+    // Phase 3: tickless parallel on the persistent pool.
+    let parallel_jobs = parallel::resolve_jobs(opts.jobs);
+    let t2 = Instant::now();
     let par = parallel::ordered_map(parallel_jobs, runs, job);
-    let parallel_wall_s = t1.elapsed().as_secs_f64();
-    let par_events: u64 = par.iter().map(|r| r.events).sum();
-    assert_eq!(events, par_events, "parallel pass diverged from sequential");
+    let parallel_wall_s = t2.elapsed().as_secs_f64();
+    let _ = irs_core::take_tickless_events_saved();
+    irs_core::set_tickless_enabled(false);
+
+    // The determinism contract, asserted over the full result surface:
+    // every float, counter, and latency sample must agree across all
+    // three configurations.
+    assert_eq!(
+        format!("{ticked:?}"),
+        format!("{tickless:?}"),
+        "tickless pass diverged from the ticked baseline"
+    );
+    assert_eq!(
+        format!("{tickless:?}"),
+        format!("{par:?}"),
+        "parallel pass diverged from sequential"
+    );
 
     PerfReport {
         runs,
         events,
-        sequential_wall_s,
+        ticked_wall_s,
+        tickless_wall_s,
         parallel_wall_s,
         parallel_jobs,
+        tickless_events_saved,
         queue_ops_per_sec: queue_ops_per_sec(),
     }
 }
@@ -190,23 +290,41 @@ fn queue_ops_per_sec() -> f64 {
 mod tests {
     use super::*;
 
-    #[test]
-    fn report_round_trips_to_json() {
-        let r = PerfReport {
-            runs: 12,
+    fn report() -> PerfReport {
+        PerfReport {
+            runs: 216,
             events: 3456,
-            sequential_wall_s: 2.0,
+            ticked_wall_s: 3.0,
+            tickless_wall_s: 2.0,
             parallel_wall_s: 1.0,
             parallel_jobs: 4,
+            tickless_events_saved: 1000,
             queue_ops_per_sec: 1e6,
-        };
+        }
+    }
+
+    #[test]
+    fn report_round_trips_to_json() {
+        let r = report();
         let json = r.to_json();
-        assert!(json.contains("\"runs\": 12"));
-        assert!(json.contains("\"speedup\": 2.000"));
+        assert!(json.contains("\"runs\": 216"));
+        assert!(json.contains("\"speedup\": 3.000"));
+        assert!(json.contains("\"tickless_speedup\": 1.500"));
+        assert!(json.contains("\"parallel_speedup\": 2.000"));
+        assert!(json.contains("\"tickless_events_saved\": 1000"));
         assert!(json.trim_end().ends_with('}'));
         assert!(json.contains("\"verify_wall_s\": null"));
-        assert!((r.speedup() - 2.0).abs() < 1e-9);
-        assert!((r.sequential_events_per_sec() - 1728.0).abs() < 1e-6);
+        assert!((r.speedup() - 3.0).abs() < 1e-9);
+        assert!((r.ticked_events_per_sec() - 1152.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn history_line_is_one_json_object() {
+        let line = report().to_history_line("abc1234");
+        assert!(line.starts_with('{') && line.ends_with("}\n"));
+        assert!(line.contains("\"commit\": \"abc1234\""));
+        assert!(line.contains("\"jobs\": 4"));
+        assert!(line.contains("\"speedup\": 3.000"));
     }
 
     #[test]

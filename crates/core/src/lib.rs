@@ -69,4 +69,6 @@ pub use faults::{FaultConfig, FaultStats};
 pub use results::{RunResult, VmResult};
 pub use scenario::{Scenario, VmScenario};
 pub use strategy::Strategy;
-pub use system::{System, SystemConfig};
+pub use system::{
+    set_tickless_enabled, take_tickless_events_saved, tickless_enabled, System, SystemConfig,
+};

@@ -3,21 +3,18 @@
 //! The paper's evaluation grid is hundreds of *independent* runs — each a
 //! pure function of a `(scenario constructor, seed)` pair — so they can be
 //! spread across OS threads without any work stealing or shared mutable
-//! state. The engine here is deliberately simple and std-only:
-//!
-//! 1. jobs are claimed from an atomic counter (each index claimed exactly
-//!    once, in no particular order);
-//! 2. every worker sends `(index, result)` over an `mpsc` channel;
-//! 3. the caller reassembles results **into index order**.
+//! state. Execution lives in [`irs_pool`]: a process-wide persistent
+//! worker pool (spawned lazily on first use, parked between campaigns)
+//! with chunked index claiming — a `figures` invocation running dozens of
+//! sweeps pays thread creation once, not per table.
 //!
 //! Because each job owns its entire state (the `System` constructs its own
 //! [`irs_sim::SimRng`] from the scenario seed) and results are reassembled
-//! canonically, the output is *bit-for-bit identical* for any worker
-//! count — `--jobs 8` and `--jobs 1` produce the same tables. Worker
-//! threads only affect wall-clock time, never results.
+//! canonically **into index order**, the output is *bit-for-bit identical*
+//! for any worker count — `--jobs 8` and `--jobs 1` produce the same
+//! tables. Worker threads only affect wall-clock time, never results.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
 use std::thread;
 
 /// Process-wide default worker count used when a call site passes
@@ -51,71 +48,25 @@ pub fn resolve_jobs(jobs: usize) -> usize {
     }
 }
 
-/// Runs `f(0..n)` across up to `jobs` worker threads (`0` = default) and
-/// returns the results in index order.
+/// Runs `f(0..n)` across up to `jobs` workers (`0` = default) and returns
+/// the results in index order.
 ///
 /// `f` must be a pure function of its index for the determinism guarantee
 /// to hold; the engine guarantees each index runs exactly once and that
 /// `out[i] == f(i)` regardless of worker count or scheduling. With one
-/// worker (or `n <= 1`) no threads are spawned at all, so `jobs = 1` is
-/// *exactly* the sequential code path.
+/// worker (or `n <= 1`) the pool is not touched at all, so `jobs = 1` is
+/// *exactly* the sequential code path. Wider calls execute on the
+/// persistent [`irs_pool`] workers, with the calling thread participating
+/// as the first executor.
 ///
-/// A panic in any job propagates to the caller after the remaining workers
-/// drain (via [`std::thread::scope`]'s join-on-exit semantics).
+/// A panic in any job propagates to the caller with its original payload
+/// after the remaining jobs drain.
 pub fn ordered_map<T, F>(jobs: usize, n: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let workers = resolve_jobs(jobs).min(n);
-    if workers <= 1 {
-        return (0..n).map(f).collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, T)>();
-    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
-
-    thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                let tx = tx.clone();
-                let next = &next;
-                let f = &f;
-                scope.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    // The receiver outlives the scope; send only fails if
-                    // the main thread is already unwinding, where losing
-                    // the result is moot.
-                    let _ = tx.send((i, f(i)));
-                })
-            })
-            .collect();
-        // Drop the caller's clone so `rx` ends once all workers finish
-        // (including by panic, which drops their senders during unwind).
-        drop(tx);
-        for (i, value) in rx {
-            slots[i] = Some(value);
-        }
-        // Re-raise the first worker panic with its original payload
-        // (thread::scope's implicit join would replace it with a generic
-        // "a scoped thread panicked" message).
-        for handle in handles {
-            if let Err(payload) = handle.join() {
-                std::panic::resume_unwind(payload);
-            }
-        }
-    });
-
-    slots
-        .into_iter()
-        .enumerate()
-        .map(|(i, s)| s.unwrap_or_else(|| panic!("job {i} produced no result")))
-        .collect()
+    irs_pool::ordered_map(resolve_jobs(jobs).min(n), n, f)
 }
 
 #[cfg(test)]

@@ -57,6 +57,43 @@ pub struct SystemConfig {
     /// forked from the scenario seed, so a given `(scenario, faults)`
     /// pair is bit-reproducible regardless of checking or parallelism.
     pub faults: Option<crate::faults::FaultConfig>,
+    /// Tickless fast-forward: elide provably no-op events (quiescent
+    /// hypervisor ticks/accounting passes, generation-stale timers) from
+    /// the dispatch loop instead of paying full dispatch for them. Results
+    /// are bit-identical either way — elided events still count toward
+    /// [`RunResult::events`], periodic timers re-arm exactly as their
+    /// handlers would, and fault-stream draws are replayed — so this is a
+    /// pure wall-clock optimisation. Also enabled process-wide by
+    /// [`set_tickless_enabled`] (how `figures --tickless` arms a sweep).
+    pub tickless: bool,
+}
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Process-wide tickless switch (see [`set_tickless_enabled`]).
+static TICKLESS_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Events elided by tickless fast-forward, process-wide, since the last
+/// [`take_tickless_events_saved`]. Flushed once per completed run.
+static TICKLESS_SAVED: AtomicU64 = AtomicU64::new(0);
+
+/// Enables or disables tickless fast-forward for every [`System`] built
+/// afterwards, regardless of its [`SystemConfig`] — the same pattern as
+/// [`crate::check::set_check_enabled`], so `figures --tickless` covers a
+/// whole experiment sweep without threading a flag through every call site.
+pub fn set_tickless_enabled(enabled: bool) {
+    TICKLESS_ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether the process-wide tickless switch is on.
+pub fn tickless_enabled() -> bool {
+    TICKLESS_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Returns the number of events elided by tickless fast-forward since the
+/// previous call, resetting the counter (process-wide, across threads).
+pub fn take_tickless_events_saved() -> u64 {
+    TICKLESS_SAVED.swap(0, Ordering::Relaxed)
 }
 
 impl Default for SystemConfig {
@@ -69,6 +106,7 @@ impl Default for SystemConfig {
             pv_spin: None,
             check: false,
             faults: None,
+            tickless: false,
         }
     }
 }
@@ -88,6 +126,13 @@ pub struct System {
     armed_slice_gen: Vec<Option<u64>>,
     stopped: bool,
     events_processed: u64,
+    /// Tickless fast-forward armed (config or process-wide switch), and
+    /// not strict co-scheduling (whose rotate epilogue keys off *every*
+    /// processed event, so no event is provably a no-op there).
+    tickless: bool,
+    /// Events elided by fast-forward this run (flushed to the process-wide
+    /// counter on completion; they still count in `events_processed`).
+    elided: u64,
     trace: irs_sim::trace::TraceRing,
     /// Whether any trace ring is armed (guest clocks need syncing).
     trace_on: bool,
@@ -98,6 +143,11 @@ pub struct System {
     /// Reusable per-vCPU view buffer: [`System::fill_views`] refills it in
     /// place so the per-event dispatch loop allocates nothing.
     pub(crate) view_buf: Vec<VcpuView>,
+    /// Recycled scratch for [`System::trace_dump`]: `(timestamp, ring,
+    /// index)` keys into the trace rings, so repeated dumps (the checker
+    /// renders one per violation probe) reuse one allocation instead of
+    /// rebuilding a `Vec` of record references each time.
+    trace_scratch: std::cell::RefCell<Vec<(SimTime, u16, u32)>>,
 }
 
 impl System {
@@ -167,15 +217,26 @@ impl System {
             if ring_cap > 0 {
                 os.enable_trace(vm_index, ring_cap);
             }
-            let bundle = vm.bundle;
-            let tasks: Vec<TaskRt> = bundle
-                .threads
-                .iter()
+            let mut bundle = vm.bundle;
+            // Parallel presets spawn N copies of one thread program:
+            // dedupe the per-domain programs behind `Arc` so sibling tasks
+            // share a single op vector instead of each cloning it.
+            let mut shared: Vec<std::sync::Arc<irs_workloads::Program>> = Vec::new();
+            let tasks: Vec<TaskRt> = std::mem::take(&mut bundle.threads)
+                .into_iter()
                 .enumerate()
                 .map(|(i, prog)| {
                     os.spawn(i % vm.n_vcpus);
+                    let prog = match shared.iter().find(|a| ***a == prog) {
+                        Some(a) => std::sync::Arc::clone(a),
+                        None => {
+                            let a = std::sync::Arc::new(prog);
+                            shared.push(std::sync::Arc::clone(&a));
+                            a
+                        }
+                    };
                     TaskRt {
-                        runner: ProgramRunner::new(prog.clone()),
+                        runner: ProgramRunner::from_shared(prog),
                         activity: crate::domain::Activity::Resume,
                         step_gen: 0,
                         penalty_ns: 0,
@@ -225,6 +286,7 @@ impl System {
             let counts: Vec<usize> = domains.iter().map(|d| d.os.n_vcpus()).collect();
             crate::faults::FaultState::new(f, scenario.seed, &counts)
         });
+        let tickless = (cfg.tickless || tickless_enabled()) && !hv.is_gang_mode();
         let mut sys = System {
             cfg,
             strategy,
@@ -237,11 +299,14 @@ impl System {
             armed_slice_gen: vec![None; n_pcpus],
             stopped: false,
             events_processed: 0,
+            tickless,
+            elided: 0,
             trace,
             trace_on: ring_cap > 0,
             checker: None,
             faults,
             view_buf: Vec::new(),
+            trace_scratch: std::cell::RefCell::new(Vec::new()),
         };
         sys.boot();
         if checking {
@@ -317,6 +382,9 @@ impl System {
     ///
     /// Panics if the event-count safety valve trips (a runaway loop).
     pub fn step(&mut self) -> bool {
+        if self.tickless {
+            self.fast_forward();
+        }
         let Some((t, ev)) = self.queue.pop() else {
             return false;
         };
@@ -356,6 +424,89 @@ impl System {
         true
     }
 
+    /// Tickless fast-forward: drain provably no-op events off the queue
+    /// head without paying full dispatch for them.
+    ///
+    /// Every elided event is one whose handler would return having mutated
+    /// nothing (see [`elidable`]), so the trace sync, gang epilogue, slice
+    /// re-arm scan, and sanitizer pass that `step` wraps around dispatch
+    /// are no-ops too. Bit-identity with the ticked path is preserved by
+    /// construction: elided events still count into `events_processed`,
+    /// self-rearming timers are re-scheduled exactly as their handlers
+    /// would (same times, same queue-insertion order, hence identical
+    /// sequence numbers for everything scheduled afterwards), and the
+    /// fault-stream draws a quiescent `HvTick` would make are replayed so
+    /// the RNG stays in lock-step. `self.now` only advances on arms whose
+    /// replay charges time (the quiet guest tick); for pure discards
+    /// nothing between pops reads it, and the next real event sets it just
+    /// as it would have.
+    fn fast_forward(&mut self) {
+        loop {
+            let hv = &self.hv;
+            let domains = &self.domains;
+            let popped = self.queue.pop_if(|t, ev| elidable(hv, domains, t, ev));
+            let Some((t, ev)) = popped else {
+                return;
+            };
+            self.events_processed += 1;
+            assert!(
+                self.events_processed <= self.cfg.max_events,
+                "event safety valve tripped at {} events (now {})",
+                self.events_processed,
+                self.now
+            );
+            debug_assert!(t >= self.now, "time went backwards");
+            self.elided += 1;
+            match ev {
+                Event::HvTick => {
+                    // A quiescent tick still advances the degradation
+                    // fault stream: the ticked path draws once per
+                    // degraded pCPU unconditionally (and every draw loses
+                    // the `force_preempt` race on an idle machine), so
+                    // replay the draws to keep the RNG in lock-step.
+                    if let Some(f) = self.faults.as_mut() {
+                        let k = f.config().degraded_pcpus.min(self.hv.n_pcpus());
+                        for _ in 0..k {
+                            let _ = f.degrade_hit();
+                        }
+                    }
+                    let next = t + self.hv.config().tick_period;
+                    self.queue.schedule(next, Event::HvTick);
+                }
+                Event::HvAccounting => {
+                    let next = t + self.hv.config().accounting_period;
+                    self.queue.schedule(next, Event::HvAccounting);
+                }
+                // A *live* quiet tick (see `GuestOs::tick_is_quiet`) is the
+                // coalesced-timer catch-up: replay exactly the state
+                // `on_guest_tick` would touch — last-tick stamp, runtime
+                // charge at the tick instant, the per-vCPU steal EWMA fold
+                // (iterated per tick, never closed-form: the 0.5-decay must
+                // hit the same float sequence), the kernel tick count — and
+                // re-arm the next tick under the same generation. The
+                // skipped parts (action dispatch, SA ack, trace sync, slice
+                // re-arm scan, sanitizer pass) are provably empty for a
+                // quiet tick. Stale ticks (generation mismatch) fall through
+                // to the pure-discard arm below.
+                Event::GuestTick { vm, vcpu, gen }
+                    if self.domains[vm].tick_gen[vcpu] == gen =>
+                {
+                    self.now = t; // sync_exec / steal_fold charge to `now`
+                    self.domains[vm].last_tick[vcpu] = t;
+                    self.sync_exec(vm, vcpu);
+                    self.steal_fold(vm);
+                    self.domains[vm].os.note_quiet_tick(vcpu);
+                    let period = self.domains[vm].os.config().tick_period;
+                    self.queue
+                        .schedule(t + period, Event::GuestTick { vm, vcpu, gen });
+                }
+                // Everything else elidable is a one-shot stale timer: its
+                // handler would discard it without re-arming anything.
+                _ => {}
+            }
+        }
+    }
+
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -374,19 +525,38 @@ impl System {
     /// [`SystemConfig::trace_capacity`] or checking). This is the report
     /// body the invariant sanitizer prints on violation.
     pub fn trace_dump(&self) -> String {
-        let mut recs: Vec<&irs_sim::trace::TraceRecord> = Vec::new();
-        recs.extend(self.hv.trace().records().iter());
-        for d in &self.domains {
-            recs.extend(d.os.trace().records().iter());
+        // Ring encoding for the recycled scratch: 0 = hypervisor,
+        // 1..=n = guests, n+1 = the embedder's own ring.
+        let ring = |r: u16| -> &std::collections::VecDeque<irs_sim::trace::TraceRecord> {
+            match r {
+                0 => self.hv.trace().records(),
+                r if (r as usize) <= self.domains.len() => {
+                    self.domains[r as usize - 1].os.trace().records()
+                }
+                _ => self.trace.records(),
+            }
+        };
+        let mut keys = self.trace_scratch.take();
+        keys.clear();
+        for r in 0..(self.domains.len() + 2) as u16 {
+            keys.extend(
+                ring(r)
+                    .iter()
+                    .enumerate()
+                    .map(|(i, rec)| (rec.at, r, i as u32)),
+            );
         }
-        recs.extend(self.trace.records().iter());
-        recs.sort_by_key(|r| r.at);
-        let tail = recs.len().saturating_sub(120);
+        // Stable, so ties keep ring order (hv, guests, embedder) exactly
+        // as the old record-reference sort did.
+        keys.sort_by_key(|k| k.0);
+        let tail = keys.len().saturating_sub(120);
         let mut out = String::new();
-        for r in &recs[tail..] {
-            out.push_str(&r.to_string());
+        for &(_, r, i) in &keys[tail..] {
+            out.push_str(&ring(r)[i as usize].to_string());
             out.push('\n');
         }
+        keys.clear();
+        self.trace_scratch.replace(keys);
         out
     }
 
@@ -1097,11 +1267,28 @@ impl System {
         }
     }
 
+    /// The state-mutating half of [`fill_views`](Self::fill_views) alone:
+    /// folds the runstate snapshot into each vCPU's steal EWMA without
+    /// rebuilding `view_buf`. Used by the tickless replay, where the view
+    /// consumer (`os.tick`) is provably skipped — every other `view_buf`
+    /// reader refills immediately before reading, so leaving the buffer
+    /// stale here is unobservable, and the EWMA float sequence (the part
+    /// that must stay bit-identical) is the same either way.
+    pub(crate) fn steal_fold(&mut self, vm: usize) {
+        let d = &mut self.domains[vm];
+        for (i, tracker) in d.steal.iter_mut().enumerate() {
+            let v = VcpuRef::new(irs_xen::VmId(vm), i);
+            let info = self.hv.runstate(v, self.now);
+            let _ = tracker.update(&info);
+        }
+    }
+
     // ==================================================================
     // results
     // ==================================================================
 
     fn into_result(self) -> RunResult {
+        TICKLESS_SAVED.fetch_add(self.elided, Ordering::Relaxed);
         let elapsed = self.now;
         let hv = self.hv.stats().clone();
         let faults = self.faults.as_ref().map(|f| f.stats);
@@ -1135,5 +1322,61 @@ impl System {
             events: self.events_processed,
             faults,
         }
+    }
+}
+
+/// Is the queue-head event provably a no-op — one whose handler would
+/// return without mutating hypervisor, guest, domain, queue, trace, fault,
+/// or stats state?
+///
+/// Each arm replicates its handler's early-out guard exactly; anything not
+/// listed (or listed but failing its guard) takes the full dispatch path.
+/// Two classes exist:
+///
+/// * **Quiescent periodic passes** — `HvTick`/`HvAccounting` over an idle
+///   machine, proven by [`Hypervisor::tick_is_noop`] /
+///   [`Hypervisor::accounting_is_noop`]. These re-arm in
+///   [`System::fast_forward`] exactly as their handlers would (the
+///   `HvTick` fault draws are replayed there too).
+/// * **Stale one-shot timers** — a generation/activity guard shows the
+///   handler would discard the event. Conspicuously absent:
+///   `SaAckDeliver`, whose *stale* path is the one with side effects
+///   (`stale_acks_discarded` + a trace record), and `SaProcess` on a
+///   live-but-wedged round, which re-schedules itself.
+fn elidable(hv: &Hypervisor, domains: &[Domain], t: SimTime, ev: &Event) -> bool {
+    match *ev {
+        Event::HvTick => hv.tick_is_noop(t),
+        Event::HvAccounting => hv.accounting_is_noop(),
+        Event::SliceExpiry { pcpu, gen } => hv.dispatch_generation(PcpuId(pcpu)) != gen,
+        Event::GuestTick { vm, vcpu, gen } => {
+            // Stale (the vCPU stopped running since it was armed), or live
+            // but *quiet*: the kernel-side tick body would emit no actions
+            // and mutate nothing beyond its tick count. The live case is
+            // not a pure discard — `fast_forward` replays the tick's
+            // accounting (runtime charge, steal EWMA, tick count, re-arm)
+            // in closed form. This is the arm that pays: guest ticks
+            // dominate the event mix on idle-heavy scenarios.
+            domains[vm].tick_gen[vcpu] != gen || domains[vm].os.tick_is_quiet(vcpu)
+        }
+        Event::TaskStep { vm, task, gen } => domains[vm].tasks[task].step_gen != gen,
+        Event::SaProcess { vm, vcpu, gen } | Event::SaTimeout { vm, vcpu, gen } => {
+            let v = VcpuRef::new(irs_xen::VmId(vm), vcpu);
+            !hv.is_sa_pending(v) || hv.sa_generation(v) != gen
+        }
+        Event::PleWindow { vm, vcpu, gen } => domains[vm].ple_gen[vcpu] != gen,
+        Event::WakeTimer { vm, task } => {
+            domains[vm].tasks[task].activity != crate::domain::Activity::Sleeping
+        }
+        Event::GraceExpire { vm, task, gen } => {
+            domains[vm].tasks[task].wait_gen != gen
+                || domains[vm].tasks[task].activity
+                    != (crate::domain::Activity::GraceSpin { granted: false })
+        }
+        Event::PvSpinExpire { vm, task, gen } => {
+            domains[vm].tasks[task].wait_gen != gen
+                || domains[vm].tasks[task].activity
+                    != (crate::domain::Activity::SpinWait { granted: false })
+        }
+        _ => false,
     }
 }

@@ -1,0 +1,169 @@
+//! Tickless fast-forward equivalence: `SystemConfig::tickless` must be a
+//! pure wall-clock optimisation. Every run here executes twice — ticked
+//! and tickless — and the full [`RunResult`] (per-VM metrics, request
+//! latencies, hypervisor and guest counters, event totals, `FaultStats`)
+//! must be bit-identical, faults or not, sanitizer armed or not.
+//!
+//! Comparison is by `Debug` rendering: Rust's `f64` Debug is
+//! shortest-roundtrip, so two renderings are equal iff every float is
+//! bit-equal (modulo NaN, which no metric here produces).
+
+use irs_core::{
+    take_tickless_events_saved, FaultConfig, Scenario, Strategy, System, SystemConfig,
+};
+
+/// Runs `scenario` ticked and tickless under otherwise identical knobs;
+/// asserts bit-identity and returns (events, events elided tickless).
+fn assert_equivalent(mk: impl Fn() -> Scenario, faults: Option<FaultConfig>, check: bool) -> (u64, u64) {
+    let cfg = |tickless| SystemConfig {
+        faults: faults.clone(),
+        check,
+        tickless,
+        ..SystemConfig::default()
+    };
+    take_tickless_events_saved();
+    let ticked = System::with_config(mk(), cfg(false)).run();
+    assert_eq!(take_tickless_events_saved(), 0, "ticked run must elide nothing");
+    let tickless = System::with_config(mk(), cfg(true)).run();
+    let saved = take_tickless_events_saved();
+    assert_eq!(
+        format!("{ticked:?}"),
+        format!("{tickless:?}"),
+        "tickless result diverged"
+    );
+    assert_eq!(ticked.faults, tickless.faults, "FaultStats diverged");
+    (ticked.events, saved)
+}
+
+fn report(label: &str, events: u64, saved: u64) {
+    eprintln!(
+        "tickless {label}: {saved}/{events} events elided ({:.1}%)",
+        100.0 * saved as f64 / events.max(1) as f64
+    );
+}
+
+#[test]
+fn fig5_matrix_all_strategies() {
+    for strat in [
+        Strategy::Vanilla,
+        Strategy::Ple,
+        Strategy::RelaxedCo,
+        Strategy::Irs,
+    ] {
+        let (events, saved) = assert_equivalent(
+            || Scenario::fig5_style("streamcluster", 1, strat, 42),
+            None,
+            false,
+        );
+        report(&format!("fig5/{strat:?}"), events, saved);
+    }
+}
+
+#[test]
+fn strict_co_gang_mode_disables_elision_but_stays_identical() {
+    // The gang-rotate epilogue in `System::step` keys off every processed
+    // event, so fast-forward must stand down entirely under strict co.
+    let (events, saved) = assert_equivalent(
+        || Scenario::fig5_style("streamcluster", 1, Strategy::StrictCo, 42),
+        None,
+        false,
+    );
+    assert_eq!(saved, 0, "no elision under gang scheduling");
+    report("fig5/StrictCo", events, saved);
+}
+
+#[test]
+fn fig2_idle_heavy_class() {
+    let (events, saved) = assert_equivalent(|| Scenario::fig2_style("lu", 7), None, false);
+    report("fig2/lu", events, saved);
+    assert!(saved > 0, "idle-heavy scenario must elide something");
+}
+
+#[test]
+fn fault_profiles_replay_the_rng_exactly() {
+    // degraded_host exercises the quiescent-HvTick fault-draw replay; the
+    // everything profile layers every stream at once.
+    for (name, profile) in [
+        ("degraded_host", FaultConfig::degraded_host()),
+        ("everything", FaultConfig::everything()),
+    ] {
+        let (events, saved) = assert_equivalent(
+            || Scenario::fig5_style("streamcluster", 1, Strategy::Irs, 42),
+            Some(profile),
+            false,
+        );
+        report(&format!("fig5/Irs+{name}"), events, saved);
+    }
+}
+
+#[test]
+fn sanitizer_verdict_is_unchanged() {
+    // With the invariant sanitizer armed, elided events skip their checker
+    // pass — legitimate exactly because they change no state. A clean run
+    // must stay clean and produce identical results.
+    let (events, saved) = assert_equivalent(
+        || Scenario::fig5_style("streamcluster", 1, Strategy::Irs, 42),
+        None,
+        true,
+    );
+    report("fig5/Irs+check", events, saved);
+}
+
+/// The bench crate's io_latency shape: a sleep-5ms/serve-100µs ping VM
+/// sharing pCPU0 with one vCPU of a parallel VM — the paper's §3.1
+/// idle-heavy class, and a scenario whose result carries per-request f64
+/// latencies (the strictest bit-identity surface we have).
+fn io_latency_scenario(strategy: Strategy, seed: u64) -> Scenario {
+    use irs_core::VmScenario;
+    let prog = irs_workloads::ProgramBuilder::new()
+        .forever(|b| {
+            b.request_start()
+                .sleep_us(5_000)
+                .compute_us(100, 0.0)
+                .request_done()
+        })
+        .build();
+    let io = irs_workloads::WorkloadBundle::server(
+        "io-ping",
+        vec![prog],
+        irs_sync::SyncSpace::new(),
+        0.0,
+        None,
+    );
+    let fg = irs_workloads::presets::by_name("streamcluster", 4, irs_sync::WaitMode::Block)
+        .unwrap();
+    Scenario::new(4, strategy, seed)
+        .vm(
+            VmScenario::new(fg.into_background(), 4)
+                .pin_one_to_one()
+                .irs_guest(strategy.sa_capable_guest()),
+        )
+        .vm(
+            VmScenario::new(io, 1)
+                .pin(vec![irs_xen::PcpuId(0)])
+                .measured(),
+        )
+        .horizon(irs_sim::SimTime::from_secs(10))
+}
+
+#[test]
+fn io_latency_server_bit_identical() {
+    for strat in [Strategy::Vanilla, Strategy::Irs] {
+        let (events, saved) = assert_equivalent(|| io_latency_scenario(strat, 11), None, false);
+        report(&format!("io_latency/{strat:?}"), events, saved);
+    }
+}
+
+#[test]
+fn process_wide_switch_covers_default_configs() {
+    // `Scenario::run()` builds its own SystemConfig; the process-wide
+    // switch (what `figures --tickless` flips) must reach it.
+    let ticked = Scenario::fig5_style("ep", 1, Strategy::Irs, 3).run();
+    irs_core::set_tickless_enabled(true);
+    take_tickless_events_saved();
+    let tickless = Scenario::fig5_style("ep", 1, Strategy::Irs, 3).run();
+    let saved = take_tickless_events_saved();
+    irs_core::set_tickless_enabled(false);
+    assert_eq!(format!("{ticked:?}"), format!("{tickless:?}"));
+    report("fig5/ep global switch", ticked.events, saved);
+}

@@ -1,0 +1,360 @@
+//! # irs-pool — a persistent worker pool for deterministic fan-out
+//!
+//! The experiment engine (`irs_core::parallel`) fans hundreds of
+//! independent simulation runs across OS threads. Its original engine
+//! spawned a fresh `thread::scope` per campaign — correct, but every
+//! `figures` table paid thread creation and teardown for each of its
+//! (often dozens of) sweeps. This crate keeps one process-wide set of
+//! workers alive across campaigns instead:
+//!
+//! * workers are **lazily spawned** on first use and parked on a condvar
+//!   between campaigns — an idle pool costs nothing but stack space;
+//! * a campaign is published once, workers **claim chunked index ranges**
+//!   from an atomic cursor (each index runs exactly once, in no
+//!   particular order) and write results into per-index slots;
+//! * the **submitting thread participates** as the first worker, so
+//!   `jobs = N` means N executors, not N+1;
+//! * results are reassembled **in index order**, making the output
+//!   bit-for-bit identical for any worker count — the same contract the
+//!   scoped engine had.
+//!
+//! Panics in a job are caught per-index, the first payload is stashed,
+//! and the campaign still runs to completion (the scoped engine likewise
+//! drained remaining workers before propagating); the submitter then
+//! re-raises the original payload.
+//!
+//! Nested submissions (a job calling [`ordered_map`] again) execute
+//! sequentially on the calling worker: the pool runs one campaign at a
+//! time, and a worker that blocked waiting for a second campaign would
+//! deadlock the first. A thread-local marks pool workers so the fallback
+//! is automatic. Distinct *top-level* submitters simply queue on the
+//! submission lock.
+//!
+//! ## Why the one `unsafe` is sound
+//!
+//! A campaign stores its job as a lifetime-erased `&'static dyn
+//! Fn(usize)`, though the closure really lives on the submitter's stack.
+//! The submitter does not return before every index is claimed *and*
+//! executed (`completed == n`); a worker dereferences the job reference
+//! only while executing an index `< n`. After the last completion the
+//! campaign is also unpublished, so late-waking workers can at most read
+//! the campaign's atomics through their own `Arc` — never the erased
+//! reference. The borrow therefore never outlives the frame it points
+//! into.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+
+/// Upper bound on pool threads, a sanity cap well above any sensible
+/// `--jobs` request (the claim protocol is correct at any size; this only
+/// bounds lazy growth).
+const MAX_WORKERS: usize = 256;
+
+/// One published fan-out: the erased job plus the claim/completion state.
+struct Campaign {
+    /// The erased job; see the crate docs for the lifetime argument.
+    job: &'static (dyn Fn(usize) + Sync),
+    /// Total number of indices.
+    n: usize,
+    /// Claim granularity (indices per `fetch_add`).
+    chunk: usize,
+    /// Next unclaimed index (may overshoot `n`).
+    cursor: AtomicUsize,
+    /// Indices fully executed (including panicked ones).
+    completed: AtomicUsize,
+    /// Pool workers still allowed to join (the submitter is the +1th).
+    seats: AtomicUsize,
+    /// First panic payload from any job, re-raised by the submitter.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Completion signal: the submitter waits here after running out of
+    /// indices to claim itself.
+    done_mu: Mutex<()>,
+    done_cv: Condvar,
+}
+
+impl Campaign {
+    /// Claims and executes chunks until the cursor runs past `n`.
+    fn run_claims(&self) {
+        loop {
+            let start = self.cursor.fetch_add(self.chunk, Ordering::Relaxed);
+            if start >= self.n {
+                return;
+            }
+            let end = (start + self.chunk).min(self.n);
+            for i in start..end {
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (self.job)(i))) {
+                    let mut slot = self.panic.lock().unwrap();
+                    slot.get_or_insert(payload);
+                }
+                let done = self.completed.fetch_add(1, Ordering::AcqRel) + 1;
+                if done == self.n {
+                    // Empty critical section pairs with the submitter's
+                    // check-then-wait under `done_mu`: no missed wakeup.
+                    drop(self.done_mu.lock().unwrap());
+                    self.done_cv.notify_all();
+                }
+            }
+        }
+    }
+
+    /// Takes a participation seat; `false` once `jobs - 1` pool workers
+    /// have already joined.
+    fn try_seat(&self) -> bool {
+        self.seats
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |s| s.checked_sub(1))
+            .is_ok()
+    }
+}
+
+/// What parked workers watch: a campaign pointer plus an epoch so a worker
+/// never re-services the campaign it just finished.
+struct Board {
+    epoch: u64,
+    campaign: Option<Arc<Campaign>>,
+}
+
+struct Pool {
+    board: Mutex<Board>,
+    wake: Condvar,
+    /// Serializes campaigns (one at a time; see crate docs on nesting).
+    submit: Mutex<()>,
+    spawned: AtomicUsize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+thread_local! {
+    /// Set on pool threads: a job that fans out again runs sequentially.
+    static IS_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        board: Mutex::new(Board {
+            epoch: 0,
+            campaign: None,
+        }),
+        wake: Condvar::new(),
+        submit: Mutex::new(()),
+        spawned: AtomicUsize::new(0),
+    })
+}
+
+/// The body of every pool thread: wait for an unseen epoch, take a seat if
+/// one is left, work the campaign, park again.
+fn worker_loop(pool: &'static Pool) {
+    IS_POOL_WORKER.with(|f| f.set(true));
+    let mut seen = 0u64;
+    loop {
+        let campaign = {
+            let mut board = pool.board.lock().unwrap();
+            loop {
+                if board.epoch != seen {
+                    seen = board.epoch;
+                    if let Some(c) = &board.campaign {
+                        if c.try_seat() {
+                            break c.clone();
+                        }
+                    }
+                }
+                board = pool.wake.wait(board).unwrap();
+            }
+        };
+        campaign.run_claims();
+    }
+}
+
+/// Ensures at least `target` pool threads exist (lazy growth, capped).
+fn ensure_workers(pool: &'static Pool, target: usize) {
+    let target = target.min(MAX_WORKERS);
+    loop {
+        let have = pool.spawned.load(Ordering::Acquire);
+        if have >= target {
+            return;
+        }
+        if pool
+            .spawned
+            .compare_exchange(have, have + 1, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            continue;
+        }
+        thread::Builder::new()
+            .name(format!("irs-pool-{have}"))
+            .spawn(move || worker_loop(pool))
+            .expect("spawning a pool worker failed");
+    }
+}
+
+/// Number of pool threads spawned so far (diagnostics / bench reporting).
+pub fn spawned_workers() -> usize {
+    pool().spawned.load(Ordering::Acquire)
+}
+
+/// Runs `f(0..n)` across up to `workers` executors (the calling thread
+/// plus `workers - 1` pool threads) and returns the results in index
+/// order.
+///
+/// `f` must be a pure function of its index for the determinism guarantee
+/// to hold; each index runs exactly once and `out[i] == f(i)` regardless
+/// of worker count or scheduling. With `workers <= 1` or `n <= 1` no pool
+/// machinery is touched at all — that is *exactly* the sequential path —
+/// and a call from inside a pool job falls back to it too.
+///
+/// A panic in any job propagates to the caller with its original payload
+/// after the remaining indices finish.
+pub fn ordered_map<T, F>(workers: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if workers <= 1 || n <= 1 || IS_POOL_WORKER.with(|w| w.get()) {
+        return (0..n).map(f).collect();
+    }
+    let pool = pool();
+
+    // Per-index result slots. A Mutex per slot is uncontended (each index
+    // is written once) and keeps this crate's unsafe confined to the
+    // lifetime erasure below.
+    let mut slots: Vec<Mutex<Option<T>>> = Vec::with_capacity(n);
+    slots.resize_with(n, || Mutex::new(None));
+    let run_one = |i: usize| {
+        let value = f(i);
+        *slots[i].lock().unwrap() = Some(value);
+    };
+
+    let job: &(dyn Fn(usize) + Sync) = &run_one;
+    // SAFETY: the campaign is fully executed and unpublished before this
+    // frame returns, and workers only call `job` for indices < n, all of
+    // which complete before then — see the crate-level argument.
+    let job: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(job) };
+
+    let campaign = Arc::new(Campaign {
+        job,
+        n,
+        chunk: (n / (4 * workers)).max(1),
+        cursor: AtomicUsize::new(0),
+        completed: AtomicUsize::new(0),
+        seats: AtomicUsize::new(workers - 1),
+        panic: Mutex::new(None),
+        done_mu: Mutex::new(()),
+        done_cv: Condvar::new(),
+    });
+
+    let submit = pool.submit.lock().unwrap();
+    ensure_workers(pool, workers - 1);
+    {
+        let mut board = pool.board.lock().unwrap();
+        board.epoch += 1;
+        board.campaign = Some(campaign.clone());
+    }
+    pool.wake.notify_all();
+
+    // Participate, then wait for stragglers working their last chunk.
+    // While executing jobs this thread counts as a pool worker: a job
+    // that fans out again must take the sequential fallback rather than
+    // re-enter the (non-reentrant) submission lock this frame holds.
+    IS_POOL_WORKER.with(|w| w.set(true));
+    campaign.run_claims();
+    IS_POOL_WORKER.with(|w| w.set(false));
+    {
+        let mut guard = campaign.done_mu.lock().unwrap();
+        while campaign.completed.load(Ordering::Acquire) < n {
+            guard = campaign.done_cv.wait(guard).unwrap();
+        }
+    }
+
+    // Unpublish before the job closure dies; late-waking workers then see
+    // an empty board at a new epoch and park again.
+    {
+        let mut board = pool.board.lock().unwrap();
+        board.campaign = None;
+    }
+    drop(submit);
+
+    if let Some(payload) = campaign.panic.lock().unwrap().take() {
+        std::panic::resume_unwind(payload);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| {
+            s.into_inner()
+                .unwrap()
+                .unwrap_or_else(|| panic!("job {i} produced no result"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_and_identical_at_any_width() {
+        let f = |i: usize| {
+            let mut acc = i as u64;
+            for k in 0..1000u64 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            acc
+        };
+        let sequential: Vec<u64> = (0..64).map(f).collect();
+        for workers in [2, 3, 8, 16] {
+            assert_eq!(ordered_map(workers, 64, f), sequential);
+        }
+    }
+
+    #[test]
+    fn pool_persists_across_campaigns() {
+        let _ = ordered_map(4, 16, |i| i);
+        let after_first = spawned_workers();
+        assert!(after_first >= 1, "pool never spawned");
+        for _ in 0..10 {
+            let _ = ordered_map(4, 16, |i| i * 2);
+        }
+        // Other tests run concurrently and may grow the pool, but this
+        // width was already satisfied — repeated campaigns at the same
+        // width must not keep spawning.
+        assert!(spawned_workers() <= MAX_WORKERS);
+    }
+
+    #[test]
+    fn nested_fan_out_runs_sequentially_not_deadlocking() {
+        let out = ordered_map(4, 8, |i| {
+            let inner = ordered_map(4, 4, move |j| i * 10 + j);
+            inner.iter().sum::<usize>()
+        });
+        let expect: Vec<usize> = (0..8).map(|i| (0..4).map(|j| i * 10 + j).sum()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn concurrent_top_level_campaigns_serialize() {
+        let a = std::thread::spawn(|| ordered_map(3, 40, |i| i + 1));
+        let b = ordered_map(3, 40, |i| i + 2);
+        assert_eq!(a.join().unwrap(), (1..=40).collect::<Vec<_>>());
+        assert_eq!(b, (2..=41).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "pool boom at 7")]
+    fn panics_propagate_with_their_payload() {
+        let _ = ordered_map(4, 16, |i| {
+            if i == 7 {
+                panic!("pool boom at 7");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn zero_and_single_inputs() {
+        assert_eq!(ordered_map(4, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(ordered_map(4, 1, |i| i + 10), vec![10]);
+    }
+}

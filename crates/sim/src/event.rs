@@ -200,6 +200,27 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|e| e.at)
     }
 
+    /// Conditionally removes the earliest live event: `pred` inspects the
+    /// head as `(time, &payload)` and the head is popped only when it
+    /// returns `true`; otherwise the queue is left untouched and `None` is
+    /// returned (also when empty).
+    ///
+    /// This is the coalesced-timer primitive behind tickless fast-forward:
+    /// a driver loop repeatedly takes the head *only while* it can prove
+    /// the event is a no-op (a quiescent periodic tick, a dead timer
+    /// generation), and stops at the first event that needs real dispatch —
+    /// without the classify-then-pop race a separate `peek`/`pop` pair
+    /// would invite if the predicate and the pop disagreed on the head.
+    pub fn pop_if(&mut self, pred: impl FnOnce(SimTime, &E) -> bool) -> Option<(SimTime, E)> {
+        // The top is always live (see `drop_dead_top`), so the entry the
+        // predicate inspects is exactly the entry `pop` would return.
+        let head = self.heap.peek()?;
+        if !pred(head.at, &head.payload) {
+            return None;
+        }
+        self.pop()
+    }
+
     /// The earliest live event as `(time, &payload)`, without removing it.
     pub fn peek(&self) -> Option<(SimTime, &E)> {
         self.heap.peek().map(|e| (e.at, &e.payload))

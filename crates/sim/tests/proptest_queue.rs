@@ -43,16 +43,30 @@ impl ModelQueue {
     fn peek_time(&self) -> Option<u64> {
         self.pending.iter().map(|e| e.0).min()
     }
+
+    /// Reference semantics of the coalesced-timer primitive: inspect the
+    /// head, pop it only if the predicate approves, never touch anything
+    /// but the head.
+    fn pop_if(&mut self, pred: impl FnOnce(u64, u32) -> bool) -> Option<(u64, u32)> {
+        let i = (0..self.pending.len()).min_by_key(|&i| (self.pending[i].0, self.pending[i].1))?;
+        let (at, _, payload) = self.pending[i];
+        if !pred(at, payload) {
+            return None;
+        }
+        self.pending.remove(i);
+        Some((at, payload))
+    }
 }
 
 /// One step of the equivalence-test interleaving: `(op, a, b)` where
-/// `op` selects schedule/cancel/pop/peek/clear (clear deliberately rare —
-/// it appears at 1-in-20 so interleavings still build up deep queues), `a`
-/// picks a time bucket, and `b` picks which outstanding handle a cancel
-/// targets.
+/// `op` selects schedule/cancel/pop/peek/pop_if/clear (clear deliberately
+/// rare — it appears at 1-in-20 so interleavings still build up deep
+/// queues), `a` picks a time bucket (doubling as the pop_if time bound),
+/// and `b` picks which outstanding handle a cancel targets (doubling as
+/// the pop_if payload parity).
 fn step_strategy() -> impl Strategy<Value = (u8, u64, u8)> {
     (0u8..20, 0u64..50, 0u8..255)
-        .prop_map(|(op, a, b)| (if op == 19 { 4 } else { op % 4 }, a, b))
+        .prop_map(|(op, a, b)| (if op == 19 { 5 } else { op % 5 }, a, b))
 }
 
 proptest! {
@@ -89,6 +103,18 @@ proptest! {
                 }
                 3 => {
                     prop_assert_eq!(real.peek_time().map(|t| t.as_nanos()), model.peek_time());
+                }
+                4 => {
+                    // The coalesced-timer primitive (tickless fast-forward
+                    // drains no-op head events through this): a predicate
+                    // over both time and payload, so accept and reject
+                    // paths interleave with every other operation.
+                    let parity = u32::from(b) % 2;
+                    let got = real
+                        .pop_if(|t, &p| t.as_nanos() <= a && p % 2 == parity)
+                        .map(|(t, p)| (t.as_nanos(), p));
+                    let want = model.pop_if(|t, p| t <= a && p % 2 == parity);
+                    prop_assert_eq!(got, want);
                 }
                 _ => {
                     // Clear: both queues drop everything. The handle

@@ -3,6 +3,7 @@
 use crate::program::{Op, Program};
 use irs_sim::SimRng;
 use irs_sync::{BarrierId, ChannelId, LockId, SyncSpace};
+use std::sync::Arc;
 
 /// An externally visible step of a running program.
 ///
@@ -46,7 +47,11 @@ pub enum Step {
 /// See the [crate-level example](crate).
 #[derive(Debug, Clone)]
 pub struct ProgramRunner {
-    program: Program,
+    /// Shared, immutable instruction sequence. Sibling tasks running the
+    /// same program (every parallel preset spawns N identical threads)
+    /// share one allocation instead of each cloning the op vector; the
+    /// interpreter's mutable state is everything below.
+    program: Arc<Program>,
     pc: usize,
     loop_stack: Vec<LoopFrame>,
     done: bool,
@@ -62,6 +67,13 @@ struct LoopFrame {
 impl ProgramRunner {
     /// Creates a runner positioned at the program start.
     pub fn new(program: Program) -> Self {
+        Self::from_shared(Arc::new(program))
+    }
+
+    /// Creates a runner over an already-shared program, positioned at the
+    /// start. Use this when many tasks run the same program: the op vector
+    /// is reference-counted, not cloned per task.
+    pub fn from_shared(program: Arc<Program>) -> Self {
         ProgramRunner {
             program,
             pc: 0,

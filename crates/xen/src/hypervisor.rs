@@ -276,6 +276,14 @@ impl Hypervisor {
         })
     }
 
+    /// The raw dispatch generation of `pcpu`, advancing on every context
+    /// switch (including to idle, where [`Hypervisor::dispatch_info`] is
+    /// `None`). A slice-expiry timer armed under a different generation is
+    /// provably stale: [`Hypervisor::slice_expired`] would discard it.
+    pub fn dispatch_generation(&self, pcpu: PcpuId) -> u64 {
+        self.pcpus[pcpu.0].dispatch_gen
+    }
+
     /// Current runstate of a vCPU (the cheap form of the hypercall).
     pub fn vcpu_state(&self, v: VcpuRef) -> RunState {
         self.vc(v).state()

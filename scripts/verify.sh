@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 verification: release build, full test suite, a lint gate, a
 # checked strategy sweep (online invariant sanitizer armed), a
-# parallel-runner smoke test, and a checked fault-injection chaos smoke.
-# Also regenerates BENCH_runner.json (via
-# `figures perf`) and records the total verification wall-clock in its
-# `verify_wall_s` field.
+# parallel-runner smoke test, a tickless equivalence pass (sanitizer
+# armed, fast-forward on), and a checked fault-injection chaos smoke.
+# Also regenerates BENCH_runner.json (via `figures perf --check-perf`,
+# which fails the build on a combined-speedup regression below 1.0) and
+# records the total verification wall-clock in its `verify_wall_s` field.
 #
 # Usage: scripts/verify.sh   (from the repository root)
 set -euo pipefail
@@ -27,11 +28,14 @@ echo "== figures checked sweep (invariant sanitizer, all strategies) =="
 echo "== figures smoke (parallel fan-out) =="
 ./target/release/figures core --quick --seeds 2 --jobs 2 >/dev/null
 
+echo "== figures tickless sweep (fast-forward on, sanitizer armed) =="
+./target/release/figures core --quick --check --tickless --jobs 2 >/dev/null
+
 echo "== figures chaos (fault-injection campaign, sanitizer armed) =="
 ./target/release/figures chaos --quick --check --jobs 2 >/dev/null
 
-echo "== figures perf (writes BENCH_runner.json) =="
-./target/release/figures perf --quick --jobs 2
+echo "== figures perf (regression gate; writes BENCH_runner.json) =="
+./target/release/figures perf --quick --jobs 2 --check-perf
 
 wall=$(echo "$start $(date +%s.%N)" | awk '{printf "%.3f", $2 - $1}')
 
