@@ -26,8 +26,11 @@
 //! Tables are identical with and without it — it only changes wall-clock.
 //! `--check-perf` turns `perf` into a regression gate: exit non-zero if
 //! the combined speedup (ticked sequential over tickless parallel) falls
-//! below 1.0. Each `perf` invocation also appends one summary line to
-//! `BENCH_history.jsonl` for trend tracking.
+//! below 1.0, the queue micro-benchmark drops below its absolute floor,
+//! or any phase regresses past the ratchet tolerance against the best
+//! matching `BENCH_history.jsonl` record (same phase / tickless flag /
+//! worker count). Each `perf` invocation appends one line per measured
+//! phase to `BENCH_history.jsonl` for trend tracking.
 
 use irs_bench::fig5_6::Interference;
 use irs_bench::Opts;
@@ -141,9 +144,10 @@ fn run_experiment(exp: &str, opts: Opts) -> Vec<Table> {
     }
 }
 
-/// Appends one summary line for this `perf` invocation to
-/// `BENCH_history.jsonl` (append-only trend log: commit, worker count,
-/// throughput, combined speedup). History is best-effort — a read-only
+/// Appends this `perf` invocation's records to `BENCH_history.jsonl`
+/// (append-only trend log: one line per measured phase, each tagged with
+/// commit, timestamp, and configuration so `--check-perf` can ratchet
+/// against matching records only). History is best-effort — a read-only
 /// checkout warns instead of failing the benchmark.
 fn append_history(report: &irs_bench::perf::PerfReport) {
     let commit = std::process::Command::new("git")
@@ -153,12 +157,16 @@ fn append_history(report: &irs_bench::perf::PerfReport) {
         .filter(|o| o.status.success())
         .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
         .unwrap_or_else(|| "unknown".to_string());
-    let line = report.to_history_line(&commit);
+    let timestamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let lines = report.to_history_lines(&commit, timestamp);
     let appended = std::fs::OpenOptions::new()
         .append(true)
         .create(true)
         .open("BENCH_history.jsonl")
-        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+        .and_then(|mut f| std::io::Write::write_all(&mut f, lines.as_bytes()));
     if let Err(e) = appended {
         eprintln!("cannot append to BENCH_history.jsonl: {e}");
     }
@@ -239,17 +247,20 @@ fn main() {
                 eprintln!("cannot write BENCH_runner.json: {e}");
                 std::process::exit(1);
             }
+            // Read the trend log *before* appending so the ratchet
+            // compares against prior invocations, not this one.
+            let history = std::fs::read_to_string("BENCH_history.jsonl").unwrap_or_default();
             append_history(&report);
             eprintln!("[perf done in {:.1}s]", start.elapsed().as_secs_f64());
             println!();
-            if check_perf && report.speedup() < 1.0 {
-                eprintln!(
-                    "perf regression: combined speedup {:.3} < 1.0 \
-                     (tickless fast-forward + {} workers must beat the ticked sequential baseline)",
-                    report.speedup(),
-                    report.parallel_jobs,
-                );
-                std::process::exit(1);
+            if check_perf {
+                let failures = report.check_perf(&history);
+                if !failures.is_empty() {
+                    for f in &failures {
+                        eprintln!("perf regression: {f}");
+                    }
+                    std::process::exit(1);
+                }
             }
             continue;
         }

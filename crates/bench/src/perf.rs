@@ -126,15 +126,103 @@ impl PerfReport {
         )
     }
 
-    /// One `BENCH_history.jsonl` line: the trend-tracking essentials.
-    pub fn to_history_line(&self, commit: &str) -> String {
+    /// The `BENCH_history.jsonl` records for one invocation: one line per
+    /// measured phase, each self-describing via `phase` / `tickless` /
+    /// `jobs` / `timestamp`. Earlier history lines carried only the
+    /// parallel-phase throughput, which made two entries for the same
+    /// commit (e.g. a ticked and a tickless invocation) indistinguishable;
+    /// `--check-perf` ratchets each phase against matching records only.
+    pub fn to_history_lines(&self, commit: &str, timestamp: u64) -> String {
+        let head = |phase: &str, tickless: bool, jobs: usize| {
+            format!(
+                "{{\"commit\": \"{commit}\", \"timestamp\": {timestamp}, \
+                 \"phase\": \"{phase}\", \"tickless\": {tickless}, \"jobs\": {jobs}"
+            )
+        };
         format!(
-            "{{\"commit\": \"{}\", \"jobs\": {}, \"events_per_sec\": {:.0}, \"speedup\": {:.3}}}\n",
-            commit,
-            self.parallel_jobs,
+            "{}, \"events_per_sec\": {:.0}}}\n\
+             {}, \"events_per_sec\": {:.0}}}\n\
+             {}, \"events_per_sec\": {:.0}, \"speedup\": {:.3}}}\n\
+             {}, \"ops_per_sec\": {:.0}}}\n",
+            head("ticked", false, 1),
+            self.ticked_events_per_sec(),
+            head("tickless", true, 1),
+            self.events as f64 / self.tickless_wall_s.max(1e-9),
+            head("parallel", true, self.parallel_jobs),
             self.parallel_events_per_sec(),
             self.speedup(),
+            head("queue", false, 1),
+            self.queue_ops_per_sec,
         )
+    }
+
+    /// The `--check-perf` regression gate. Returns one message per
+    /// violated check; empty means the gate passes. `history` is the raw
+    /// `BENCH_history.jsonl` content (pre-append), used to *ratchet*: each
+    /// phase's current throughput must stay above [`RATCHET_FRAC`] of the
+    /// best history record with the **matching configuration** (same
+    /// phase, tickless flag, and worker count) — records from other
+    /// configurations, and legacy lines without a `phase` field, are
+    /// ignored. The loose fraction absorbs the ±30% wall-clock noise of
+    /// shared CI boxes while still catching structural regressions (a
+    /// heap-class queue would land at ~15% of the wheel's ops/s).
+    pub fn check_perf(&self, history: &str) -> Vec<String> {
+        let mut failures = Vec::new();
+        if self.speedup() < 1.0 {
+            failures.push(format!(
+                "combined speedup {:.3} < 1.0 (tickless fast-forward + {} workers \
+                 must beat the ticked sequential baseline)",
+                self.speedup(),
+                self.parallel_jobs,
+            ));
+        }
+        if self.queue_ops_per_sec < QUEUE_OPS_FLOOR {
+            failures.push(format!(
+                "queue_ops_per_sec {:.0} below the {:.0} floor (timer-wheel \
+                 schedule/cancel/pop churn must not regress toward heap costs)",
+                self.queue_ops_per_sec, QUEUE_OPS_FLOOR,
+            ));
+        }
+        let phases: [(&str, bool, usize, f64, &str); 4] = [
+            ("ticked", false, 1, self.ticked_events_per_sec(), "events_per_sec"),
+            (
+                "tickless",
+                true,
+                1,
+                self.events as f64 / self.tickless_wall_s.max(1e-9),
+                "events_per_sec",
+            ),
+            (
+                "parallel",
+                true,
+                self.parallel_jobs,
+                self.parallel_events_per_sec(),
+                "events_per_sec",
+            ),
+            ("queue", false, 1, self.queue_ops_per_sec, "ops_per_sec"),
+        ];
+        for (phase, tickless, jobs, current, metric) in phases {
+            let best = history
+                .lines()
+                .filter(|l| {
+                    json_str_field(l, "phase").as_deref() == Some(phase)
+                        && json_raw_field(l, "tickless")
+                            .is_some_and(|v| v == if tickless { "true" } else { "false" })
+                        && json_raw_field(l, "jobs")
+                            .and_then(|v| v.parse::<usize>().ok())
+                            == Some(jobs)
+                })
+                .filter_map(|l| json_raw_field(l, metric).and_then(|v| v.parse::<f64>().ok()))
+                .fold(f64::NAN, f64::max);
+            if best.is_finite() && current < RATCHET_FRAC * best {
+                failures.push(format!(
+                    "{phase} phase ratchet: {current:.0} {metric} is below {:.0}% of the \
+                     best matching record ({best:.0}; tickless={tickless}, jobs={jobs})",
+                    RATCHET_FRAC * 100.0,
+                ));
+            }
+        }
+        failures
     }
 
     /// Human-readable summary (what the `perf` subcommand prints).
@@ -184,12 +272,41 @@ const MIN_TIMED_WALL_S: f64 = 0.5;
 /// least this many runs, so short machines scale up by repetition.
 const MIN_GRID_RUNS: usize = 200;
 
+/// Absolute floor on the queue micro-benchmark, in ops per second. The
+/// timer wheel measures 35–60M ops/s on the reference box and the old
+/// binary heap ~5–6M, so 20M splits the two populations with margin for
+/// machine noise on both sides: a wheel on a slow box stays above it, a
+/// heap regression on a fast box stays below it.
+const QUEUE_OPS_FLOOR: f64 = 20.0e6;
+
+/// Ratchet tolerance: a phase fails when its current throughput drops
+/// below this fraction of the best matching history record.
+const RATCHET_FRAC: f64 = 0.5;
+
+/// Extract the raw (unquoted) value of a top-level `"key": value` pair
+/// from a single-line JSON object. Good enough for the flat records this
+/// module writes; not a general JSON parser.
+fn json_raw_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    let rest = rest.trim_start();
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().to_string())
+}
+
+/// Like [`json_raw_field`] but strips one layer of surrounding quotes.
+fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let raw = json_raw_field(line, key)?;
+    Some(raw.trim_matches('"').to_string())
+}
+
 /// Times the grid in all three configurations and returns the combined
 /// report. `opts.seeds` seeds per mix entry; the whole mix is then
 /// repeated (identically — the engine is deterministic) until a timed
 /// pass is expected to take at least [`MIN_TIMED_WALL_S`] and the grid
 /// holds at least [`MIN_GRID_RUNS`] runs.
 pub fn perf(opts: Opts) -> PerfReport {
+    let queue_ops = queue_ops_per_sec();
     let per = opts.seeds.max(1) as usize;
     let base_runs = MIX.len() * per;
     let job = |i: usize| {
@@ -253,37 +370,71 @@ pub fn perf(opts: Opts) -> PerfReport {
         parallel_wall_s,
         parallel_jobs,
         tickless_events_saved,
-        queue_ops_per_sec: queue_ops_per_sec(),
+        queue_ops_per_sec: queue_ops,
     }
 }
 
+/// Steady-state live population for the queue micro-benchmark: one busy
+/// simulated host's worth of armed timers (64 pCPUs × ~8 armed timers
+/// each — slice expiries, guest ticks, accounting beats, PLE windows).
+const QUEUE_BENCH_POPULATION: usize = 512;
+
 /// Micro-benchmark of [`EventQueue`]: interleaved schedule / cancel / pop
-/// with out-of-order timestamps, so the heap, the id slab, and tombstone
-/// reclamation all stay on the measured path.
+/// shaped like the simulator's own timer churn, which the tickless data
+/// pinned down as 83–88% short periodic timers. Every event is armed
+/// *relative to the advancing clock*: 85% are ~1 ms beats (`HvTick`,
+/// guest CFS ticks, jittered ±10%), the rest are golden-ratio scattered
+/// over 1 µs..34 ms (PLE windows to slice expiries). Each round also arms
+/// and immediately cancels a timer (a slice timer dying to an early
+/// block) and pops three events forward, holding the live population at
+/// [`QUEUE_BENCH_POPULATION`]; the id slab and tombstone reclamation stay
+/// on the measured path.
 fn queue_ops_per_sec() -> f64 {
     const TARGET_OPS: u64 = 1_000_000;
-    let mut q: EventQueue<u64> = EventQueue::new();
-    let mut ids = Vec::new();
-    let mut k = 0u64;
-    let mut ops = 0u64;
+    fn delta(k: u64) -> u64 {
+        let r = k.wrapping_mul(0x9e37_79b9);
+        if r % 100 < 85 {
+            900_000 + r % 200_000
+        } else {
+            1_000 + r % 33_554_432
+        }
+    }
+    let mut total_ops = 0u64;
     let t0 = Instant::now();
-    while ops < TARGET_OPS {
-        for _ in 0..3 {
+    // Repeat whole rounds until the wall window is long enough that
+    // scheduler jitter on a busy host stops dominating the reading.
+    loop {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut k = 0u64;
+        let mut now = 0u64;
+        let mut ops = 0u64;
+        for _ in 0..QUEUE_BENCH_POPULATION {
             k += 1;
-            // Pseudo-random-ish timestamps keep the heap unsorted on insert.
-            let at = SimTime::from_nanos(k.wrapping_mul(0x9e37_79b9) % 1_000_000);
-            ids.push(q.schedule(at, k));
+            q.schedule(SimTime::from_nanos(now + delta(k)), k);
         }
-        if let Some(id) = ids.pop() {
+        while ops < TARGET_OPS {
+            for _ in 0..3 {
+                k += 1;
+                q.schedule(SimTime::from_nanos(now + delta(k)), k);
+            }
+            let id = q.schedule(SimTime::from_nanos(now + delta(k ^ 7)), k);
             q.cancel(id);
+            for _ in 0..3 {
+                if let Some((t, _)) = q.pop() {
+                    now = t.as_nanos();
+                }
+            }
+            ops += 8;
         }
-        q.pop();
-        ops += 5;
+        while q.pop().is_some() {
+            ops += 1;
+        }
+        total_ops += ops;
+        if t0.elapsed().as_secs_f64() >= MIN_TIMED_WALL_S {
+            break;
+        }
     }
-    while q.pop().is_some() {
-        ops += 1;
-    }
-    ops as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+    total_ops as f64 / t0.elapsed().as_secs_f64().max(1e-9)
 }
 
 #[cfg(test)]
@@ -319,12 +470,63 @@ mod tests {
     }
 
     #[test]
-    fn history_line_is_one_json_object() {
-        let line = report().to_history_line("abc1234");
-        assert!(line.starts_with('{') && line.ends_with("}\n"));
-        assert!(line.contains("\"commit\": \"abc1234\""));
-        assert!(line.contains("\"jobs\": 4"));
-        assert!(line.contains("\"speedup\": 3.000"));
+    fn history_lines_are_one_json_object_per_phase() {
+        let lines = report().to_history_lines("abc1234", 1_700_000_000);
+        let parsed: Vec<&str> = lines.lines().collect();
+        assert_eq!(parsed.len(), 4, "one record per measured phase");
+        for l in &parsed {
+            assert!(l.starts_with('{') && l.ends_with('}'));
+            assert_eq!(json_str_field(l, "commit").as_deref(), Some("abc1234"));
+            assert_eq!(json_raw_field(l, "timestamp").as_deref(), Some("1700000000"));
+            assert!(json_str_field(l, "phase").is_some());
+            assert!(json_raw_field(l, "tickless").is_some());
+        }
+        // Phase records carry the numbers the ratchet keys on.
+        assert!(parsed[0].contains("\"phase\": \"ticked\""));
+        assert!(parsed[0].contains("\"tickless\": false"));
+        assert!(parsed[2].contains("\"phase\": \"parallel\""));
+        assert!(parsed[2].contains("\"jobs\": 4"));
+        assert!(parsed[2].contains("\"speedup\": 3.000"));
+        assert!(parsed[3].contains("\"phase\": \"queue\""));
+        assert!(parsed[3].contains("\"ops_per_sec\": 1000000"));
+    }
+
+    #[test]
+    fn check_perf_passes_on_empty_history() {
+        let mut r = report();
+        r.queue_ops_per_sec = 40.0e6;
+        assert!(r.check_perf("").is_empty());
+    }
+
+    #[test]
+    fn check_perf_enforces_queue_floor_and_speedup() {
+        let mut r = report();
+        r.queue_ops_per_sec = 1e6; // heap-class number: below the floor
+        r.parallel_wall_s = 4.0; // slower than ticked: speedup < 1.0
+        let failures = r.check_perf("");
+        assert_eq!(failures.len(), 2);
+        assert!(failures.iter().any(|f| f.contains("queue_ops_per_sec")));
+        assert!(failures.iter().any(|f| f.contains("speedup")));
+    }
+
+    #[test]
+    fn check_perf_ratchets_against_matching_config_only() {
+        let mut r = report();
+        r.queue_ops_per_sec = 40.0e6;
+        // Best matching parallel record is 10x the current report's
+        // throughput -> ratchet fires. A same-phase record with a
+        // different job count, and a legacy line without `phase`, must
+        // both be ignored.
+        let history = "\
+            {\"commit\": \"old0001\", \"jobs\": 4, \"events_per_sec\": 99999999, \"speedup\": 1.9}\n\
+            {\"commit\": \"old0002\", \"timestamp\": 1, \"phase\": \"parallel\", \"tickless\": true, \"jobs\": 8, \"events_per_sec\": 99999999, \"speedup\": 1.9}\n\
+            {\"commit\": \"old0003\", \"timestamp\": 2, \"phase\": \"parallel\", \"tickless\": true, \"jobs\": 4, \"events_per_sec\": 34560, \"speedup\": 1.9}\n";
+        let failures = r.check_perf(history);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("parallel phase ratchet"));
+        // Within tolerance of the matching record -> passes.
+        let close = "{\"commit\": \"old0003\", \"timestamp\": 2, \"phase\": \"parallel\", \"tickless\": true, \"jobs\": 4, \"events_per_sec\": 4000, \"speedup\": 1.9}\n";
+        assert!(r.check_perf(close).is_empty());
     }
 
     #[test]

@@ -42,17 +42,17 @@ pub(crate) struct ExecCtx {
     pub since: SimTime,
 }
 
-/// Per-task runtime state.
+/// Per-task runtime state — the *cold* remainder. The fields the event
+/// dispatch loop touches on nearly every event (`activity`, the two
+/// staleness generations) live in the parallel struct-of-arrays vectors on
+/// [`Domain`] (`task_activity` / `task_step_gen` / `task_wait_gen`), so a
+/// staleness probe reads one element of a dense `u64` array instead of
+/// dereferencing into this struct past the program runner.
 #[derive(Debug)]
 pub(crate) struct TaskRt {
     pub runner: ProgramRunner,
-    pub activity: Activity,
-    /// Invalidates outstanding `TaskStep` events.
-    pub step_gen: u64,
     /// Pending cache warm-up penalty (ns) added to the next segment.
     pub penalty_ns: u64,
-    /// Invalidates outstanding grace-expiry events.
-    pub wait_gen: u64,
     /// Open request timestamp (`RequestStart` or queue-arrival pairing).
     pub req_open: Option<SimTime>,
 }
@@ -73,6 +73,27 @@ impl StealTracker {
             last_total: SimTime::ZERO,
             ewma: 0.0,
         }
+    }
+
+    /// True when a snapshot taken at `now` would land in the sub-ms dead
+    /// window and leave the estimator untouched — [`StealTracker::update`]
+    /// would return `ewma` unchanged. Relies on runstate clocks accounting
+    /// *all* time (every vCPU clock starts at t=0 and every instant is
+    /// charged to exactly one state), so a clock's `total()` at `now` is
+    /// `now` itself; the hot per-event view refill uses this to skip the
+    /// clock read entirely.
+    #[inline]
+    pub fn quiescent_at(&self, now: SimTime) -> bool {
+        now.saturating_sub(self.last_total) < SimTime::from_millis(1)
+    }
+
+    /// First instant at which [`StealTracker::quiescent_at`] turns false —
+    /// i.e. until when a fresh snapshot is guaranteed to leave the
+    /// estimator untouched. The view cache stays valid up to the minimum
+    /// of this horizon over a VM's trackers.
+    #[inline]
+    pub fn quiescent_until(&self) -> SimTime {
+        self.last_total + SimTime::from_millis(1)
     }
 
     /// Folds a fresh runstate snapshot in. Windows shorter than 1 ms reuse
@@ -98,6 +119,13 @@ pub(crate) struct Domain {
     pub os: GuestOs,
     pub space: SyncSpace,
     pub tasks: Vec<TaskRt>,
+    /// What each task is doing right now (parallel to `tasks`; see
+    /// [`TaskRt`] for the layout rationale).
+    pub task_activity: Vec<Activity>,
+    /// Invalidates outstanding `TaskStep` events (parallel to `tasks`).
+    pub task_step_gen: Vec<u64>,
+    /// Invalidates outstanding grace-expiry events (parallel to `tasks`).
+    pub task_wait_gen: Vec<u64>,
     pub kind: WorkloadKind,
     pub memory_intensity: f64,
     pub open_loop: Option<OpenLoop>,
@@ -115,6 +143,18 @@ pub(crate) struct Domain {
     pub ple_gen: Vec<u64>,
     /// Per-vCPU SA-round generation (guards SaProcess staleness).
     pub steal: Vec<StealTracker>,
+    /// Cached guest-visible per-vCPU views, refilled in place by
+    /// `System::fill_views`. Kept per domain so the cache survives events
+    /// that interleave between VMs.
+    pub view_buf: Vec<irs_guest::VcpuView>,
+    /// Hypervisor runstate epoch the cached `view_buf` was built against.
+    /// A bump anywhere invalidates (some vCPU changed state).
+    pub views_epoch: u64,
+    /// Cache horizon: `view_buf` is exact strictly before this instant
+    /// (the minimum [`StealTracker::quiescent_until`] at fill time), as
+    /// long as `views_epoch` still matches. `SimTime::ZERO` marks the
+    /// cache invalid.
+    pub views_deadline: SimTime,
     pub measured: bool,
     /// Tasks not yet `Done`.
     pub live_tasks: usize,

@@ -43,11 +43,11 @@ impl System {
             task: task.0,
             since: self.now,
         });
-        match self.domains[vm].tasks[task.0].activity {
+        match self.domains[vm].task_activity[task.0] {
             Activity::Computing { remaining, .. } => {
                 let d = &mut self.domains[vm];
-                d.tasks[task.0].step_gen += 1;
-                let gen = d.tasks[task.0].step_gen;
+                d.task_step_gen[task.0] += 1;
+                let gen = d.task_step_gen[task.0];
                 self.queue.schedule(
                     self.now + SimTime::from_nanos(remaining),
                     Event::TaskStep {
@@ -59,7 +59,7 @@ impl System {
             }
             Activity::Resume => self.advance_task(vm, task.0),
             Activity::SpinWait { granted: true } | Activity::GraceSpin { granted: true } => {
-                self.domains[vm].tasks[task.0].activity = Activity::Resume;
+                self.domains[vm].task_activity[task.0] = Activity::Resume;
                 self.advance_task(vm, task.0);
             }
             Activity::SpinWait { granted: false } | Activity::GraceSpin { granted: false } => {
@@ -80,10 +80,10 @@ impl System {
         let delta = self.now.saturating_sub(ctx.since);
         let d = &mut self.domains[vm];
         d.os.account_runtime(vcpu, delta);
-        if let Activity::Computing { remaining, .. } = &mut d.tasks[ctx.task].activity {
+        if let Activity::Computing { remaining, .. } = &mut d.task_activity[ctx.task] {
             *remaining = remaining.saturating_sub(delta.as_nanos());
         }
-        d.tasks[ctx.task].step_gen += 1;
+        d.task_step_gen[ctx.task] += 1;
         d.ple_gen[vcpu] += 1;
     }
 
@@ -102,7 +102,7 @@ impl System {
         let task = ctx.task;
         let d = &mut self.domains[vm];
         d.os.account_runtime(vcpu, delta);
-        if let Activity::Computing { remaining, .. } = &mut d.tasks[task].activity {
+        if let Activity::Computing { remaining, .. } = &mut d.task_activity[task] {
             *remaining = remaining.saturating_sub(delta.as_nanos());
         }
     }
@@ -134,7 +134,7 @@ impl System {
             let still_executing = self.domains[vm].os.current(cpu) == Some(TaskId(task))
                 && self.domains[vm].exec[cpu].map(|c| c.task) == Some(task);
             if !still_executing {
-                self.domains[vm].tasks[task].activity = Activity::Resume;
+                self.domains[vm].task_activity[task] = Activity::Resume;
                 return;
             }
             let step = {
@@ -146,12 +146,12 @@ impl System {
                     let d = &mut self.domains[vm];
                     let penalty = std::mem::take(&mut d.tasks[task].penalty_ns);
                     let total = ns + penalty;
-                    d.tasks[task].activity = Activity::Computing {
+                    d.task_activity[task] = Activity::Computing {
                         remaining: total,
                         useful: ns,
                     };
-                    d.tasks[task].step_gen += 1;
-                    let gen = d.tasks[task].step_gen;
+                    d.task_step_gen[task] += 1;
+                    let gen = d.task_step_gen[task];
                     self.queue.schedule(
                         self.now + SimTime::from_nanos(total),
                         Event::TaskStep { vm, task, gen },
@@ -239,7 +239,7 @@ impl System {
                     }
                 }
                 Step::Sleep { ns } => {
-                    self.domains[vm].tasks[task].activity = Activity::Sleeping;
+                    self.domains[vm].task_activity[task] = Activity::Sleeping;
                     self.queue
                         .schedule(self.now + SimTime::from_nanos(ns), Event::WakeTimer { vm, task });
                     self.block_current_of(vm, task);
@@ -258,16 +258,15 @@ impl System {
                 }
                 Step::Done => {
                     let d = &mut self.domains[vm];
-                    d.tasks[task].activity = Activity::Done;
+                    d.task_activity[task] = Activity::Done;
                     d.live_tasks -= 1;
                     if d.live_tasks == 0 {
                         d.completed_at = Some(self.now);
                     }
                     let vcpu = d.os.task(TaskId(task)).cpu;
                     self.fill_views(vm);
-                    let acts = self.domains[vm]
-                        .os
-                        .exit_current(vcpu, self.now, &self.view_buf);
+                    let d = &mut self.domains[vm];
+                    let acts = d.os.exit_current(vcpu, self.now, &d.view_buf);
                     self.apply_guest_actions(vm, acts);
                     return;
                 }
@@ -284,14 +283,14 @@ impl System {
     fn wait_block(&mut self, vm: usize, task: usize) {
         let grace = self.cfg.futex_grace;
         if grace.is_zero() {
-            self.domains[vm].tasks[task].activity = Activity::BlockedSync;
+            self.domains[vm].task_activity[task] = Activity::BlockedSync;
             self.block_current_of(vm, task);
             return;
         }
         let d = &mut self.domains[vm];
-        d.tasks[task].activity = Activity::GraceSpin { granted: false };
-        d.tasks[task].wait_gen += 1;
-        let gen = d.tasks[task].wait_gen;
+        d.task_activity[task] = Activity::GraceSpin { granted: false };
+        d.task_wait_gen[task] += 1;
+        let gen = d.task_wait_gen[task];
         self.queue
             .schedule(self.now + grace, Event::GraceExpire { vm, task, gen });
         let vcpu = self.domains[vm].os.task(TaskId(task)).cpu;
@@ -303,13 +302,13 @@ impl System {
     /// converts an over-budget spin into a halt that the releasing owner
     /// kicks awake (pv-spinlock semantics).
     fn wait_spin(&mut self, vm: usize, task: usize) {
-        self.domains[vm].tasks[task].activity = Activity::SpinWait { granted: false };
+        self.domains[vm].task_activity[task] = Activity::SpinWait { granted: false };
         let vcpu = self.domains[vm].os.task(TaskId(task)).cpu;
         self.arm_ple(vm, vcpu);
         if let Some(budget) = self.cfg.pv_spin {
             let d = &mut self.domains[vm];
-            d.tasks[task].wait_gen += 1;
-            let gen = d.tasks[task].wait_gen;
+            d.task_wait_gen[task] += 1;
+            let gen = d.task_wait_gen[task];
             self.queue
                 .schedule(self.now + budget, Event::PvSpinExpire { vm, task, gen });
         }
@@ -317,14 +316,14 @@ impl System {
 
     /// A paravirtual spin budget ran out: halt the waiter until kicked.
     pub(crate) fn on_pv_spin_expire(&mut self, vm: usize, task: usize, gen: u64) {
-        if self.domains[vm].tasks[task].wait_gen != gen {
+        if self.domains[vm].task_wait_gen[task] != gen {
             return; // granted in the meantime
         }
-        if self.domains[vm].tasks[task].activity != (Activity::SpinWait { granted: false }) {
+        if self.domains[vm].task_activity[task] != (Activity::SpinWait { granted: false }) {
             return;
         }
-        self.domains[vm].tasks[task].wait_gen += 1;
-        self.domains[vm].tasks[task].activity = Activity::BlockedSync;
+        self.domains[vm].task_wait_gen[task] += 1;
+        self.domains[vm].task_activity[task] = Activity::BlockedSync;
         let tid = TaskId(task);
         let vcpu = self.domains[vm].os.task(tid).cpu;
         if self.domains[vm].os.current(vcpu) == Some(tid) {
@@ -337,14 +336,14 @@ impl System {
 
     /// The grace window of a blocking wait ran out: actually sleep.
     pub(crate) fn on_grace_expire(&mut self, vm: usize, task: usize, gen: u64) {
-        if self.domains[vm].tasks[task].wait_gen != gen {
+        if self.domains[vm].task_wait_gen[task] != gen {
             return; // granted (or otherwise resolved) in the meantime
         }
-        if self.domains[vm].tasks[task].activity != (Activity::GraceSpin { granted: false }) {
+        if self.domains[vm].task_activity[task] != (Activity::GraceSpin { granted: false }) {
             return;
         }
-        self.domains[vm].tasks[task].wait_gen += 1;
-        self.domains[vm].tasks[task].activity = Activity::BlockedSync;
+        self.domains[vm].task_wait_gen[task] += 1;
+        self.domains[vm].task_activity[task] = Activity::BlockedSync;
         let tid = TaskId(task);
         let vcpu = self.domains[vm].os.task(tid).cpu;
         if self.domains[vm].os.current(vcpu) == Some(tid) {
@@ -363,22 +362,22 @@ impl System {
             WaitMode::Block => self.resume_waiter(vm, task),
             WaitMode::Spin => {
                 let d = &mut self.domains[vm];
-                match &mut d.tasks[task].activity {
+                match &mut d.task_activity[task] {
                     Activity::SpinWait { granted } => {
                         *granted = true;
-                        d.tasks[task].wait_gen += 1; // cancels any pv timer
+                        d.task_wait_gen[task] += 1; // cancels any pv timer
                         // A spinner executing right now notices instantly.
                         let vcpu = d.os.task(TaskId(task)).cpu;
                         let executing = d.exec[vcpu].is_some_and(|ctx| ctx.task == task);
                         if executing {
                             self.sync_exec(vm, vcpu);
-                            self.domains[vm].tasks[task].activity = Activity::Resume;
+                            self.domains[vm].task_activity[task] = Activity::Resume;
                             self.advance_task(vm, task);
                         }
                     }
                     Activity::BlockedSync => {
                         // A pv-halted spin waiter: the release kicks it.
-                        d.tasks[task].activity = Activity::Resume;
+                        d.task_activity[task] = Activity::Resume;
                         self.wake_task(vm, task);
                     }
                     other => debug_assert!(false, "spin grant to {other:?}"),
@@ -391,21 +390,21 @@ impl System {
     /// waiter is in its futex path, this is a fast in-grace hand-off or a
     /// real wake-up.
     fn resume_waiter(&mut self, vm: usize, task: usize) {
-        match self.domains[vm].tasks[task].activity {
+        match self.domains[vm].task_activity[task] {
             Activity::GraceSpin { granted: false } => {
                 let d = &mut self.domains[vm];
-                d.tasks[task].wait_gen += 1; // cancels the grace expiry
-                d.tasks[task].activity = Activity::GraceSpin { granted: true };
+                d.task_wait_gen[task] += 1; // cancels the grace expiry
+                d.task_activity[task] = Activity::GraceSpin { granted: true };
                 let vcpu = d.os.task(TaskId(task)).cpu;
                 let executing = d.exec[vcpu].is_some_and(|ctx| ctx.task == task);
                 if executing {
                     self.sync_exec(vm, vcpu);
-                    self.domains[vm].tasks[task].activity = Activity::Resume;
+                    self.domains[vm].task_activity[task] = Activity::Resume;
                     self.advance_task(vm, task);
                 }
             }
             Activity::BlockedSync => {
-                self.domains[vm].tasks[task].activity = Activity::Resume;
+                self.domains[vm].task_activity[task] = Activity::Resume;
                 self.wake_task(vm, task);
             }
             other => debug_assert!(false, "resume of a non-waiting task ({other:?})"),
@@ -415,7 +414,8 @@ impl System {
     /// Wakes a blocked task through the guest's wakeup-balancing path.
     pub(crate) fn wake_task(&mut self, vm: usize, task: usize) {
         self.fill_views(vm);
-        let acts = self.domains[vm].os.wake(TaskId(task), &self.view_buf);
+        let d = &mut self.domains[vm];
+        let acts = d.os.wake(TaskId(task), &d.view_buf);
         self.apply_guest_actions(vm, acts);
     }
 
@@ -426,9 +426,8 @@ impl System {
         let vcpu = self.domains[vm].os.task(TaskId(task)).cpu;
         debug_assert_eq!(self.domains[vm].os.current(vcpu), Some(TaskId(task)));
         self.fill_views(vm);
-        let acts = self.domains[vm]
-            .os
-            .block_current(vcpu, self.now, &self.view_buf);
+        let d = &mut self.domains[vm];
+        let acts = d.os.block_current(vcpu, self.now, &d.view_buf);
         self.apply_guest_actions(vm, acts);
     }
 }

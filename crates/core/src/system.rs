@@ -124,6 +124,11 @@ pub struct System {
     pub(crate) rng: SimRng,
     pub(crate) horizon: SimTime,
     armed_slice_gen: Vec<Option<u64>>,
+    /// The hypervisor [`dispatch_epoch`](Hypervisor::dispatch_epoch) the
+    /// last slice-timer scan ran under; while it holds steady no dispatch
+    /// moved, so [`System::refresh_slice_timers`] skips the pCPU walk.
+    /// `None` forces the next scan.
+    armed_epoch: Option<u64>,
     stopped: bool,
     events_processed: u64,
     /// Tickless fast-forward armed (config or process-wide switch), and
@@ -140,9 +145,6 @@ pub struct System {
     checker: Option<crate::check::Checker>,
     /// Live fault injector, when [`SystemConfig::faults`] is set.
     faults: Option<crate::faults::FaultState>,
-    /// Reusable per-vCPU view buffer: [`System::fill_views`] refills it in
-    /// place so the per-event dispatch loop allocates nothing.
-    pub(crate) view_buf: Vec<VcpuView>,
     /// Recycled scratch for [`System::trace_dump`]: `(timestamp, ring,
     /// index)` keys into the trace rings, so repeated dumps (the checker
     /// renders one per violation probe) reuse one allocation instead of
@@ -237,10 +239,7 @@ impl System {
                     };
                     TaskRt {
                         runner: ProgramRunner::from_shared(prog),
-                        activity: crate::domain::Activity::Resume,
-                        step_gen: 0,
                         penalty_ns: 0,
-                        wait_gen: 0,
                         req_open: None,
                     }
                 })
@@ -250,6 +249,9 @@ impl System {
                 name: bundle.name.clone(),
                 os,
                 space: bundle.space,
+                task_activity: vec![crate::domain::Activity::Resume; tasks.len()],
+                task_step_gen: vec![0; tasks.len()],
+                task_wait_gen: vec![0; tasks.len()],
                 tasks,
                 kind: bundle.kind,
                 memory_intensity: bundle.memory_intensity,
@@ -260,6 +262,9 @@ impl System {
                 last_tick: vec![SimTime::ZERO; vm.n_vcpus],
                 ple_gen: vec![0; vm.n_vcpus],
                 steal: vec![StealTracker::new(); vm.n_vcpus],
+                view_buf: Vec::new(),
+                views_epoch: 0,
+                views_deadline: SimTime::ZERO,
                 measured: vm.measured,
                 live_tasks,
                 completed_at: None,
@@ -297,6 +302,7 @@ impl System {
             rng: SimRng::seed_from(scenario.seed),
             horizon: scenario.horizon,
             armed_slice_gen: vec![None; n_pcpus],
+            armed_epoch: None,
             stopped: false,
             events_processed: 0,
             tickless,
@@ -305,7 +311,6 @@ impl System {
             trace_on: ring_cap > 0,
             checker: None,
             faults,
-            view_buf: Vec::new(),
             trace_scratch: std::cell::RefCell::new(Vec::new()),
         };
         sys.boot();
@@ -597,7 +602,7 @@ impl System {
                 queued.join(", "),
             );
         }
-        for (i, t) in d.tasks.iter().enumerate() {
+        for i in 0..d.tasks.len() {
             let task = d.os.task(irs_guest::TaskId(i));
             let exec = d.exec[task.cpu]
                 .filter(|c| c.task == i)
@@ -609,8 +614,8 @@ impl System {
                 task.cpu,
                 task.vruntime,
                 task.in_custody,
-                t.step_gen,
-                t.activity,
+                d.task_step_gen[i],
+                d.task_activity[i],
                 exec.as_deref().unwrap_or("no-exec"),
             );
         }
@@ -737,7 +742,8 @@ impl System {
         self.domains[vm].last_tick[vcpu] = self.now;
         self.sync_exec(vm, vcpu);
         self.fill_views(vm);
-        let outcome = self.domains[vm].os.tick(vcpu, self.now, &self.view_buf);
+        let d = &mut self.domains[vm];
+        let outcome = d.os.tick(vcpu, self.now, &d.view_buf);
         self.apply_guest_actions(vm, outcome.actions);
         if let Some(op) = outcome.sa_ack {
             // A pending SA upcall was processed at the tick (after the
@@ -755,7 +761,7 @@ impl System {
     }
 
     fn on_task_step(&mut self, vm: usize, task: usize, gen: u64) {
-        if self.domains[vm].tasks[task].step_gen != gen {
+        if self.domains[vm].task_step_gen[task] != gen {
             return; // superseded by a context switch
         }
         let vcpu = self.domains[vm].os.task(irs_guest::TaskId(task)).cpu;
@@ -763,17 +769,17 @@ impl System {
             self.domains[vm].os.current(vcpu),
             Some(irs_guest::TaskId(task)),
             "TaskStep for non-current task{task} (vm{vm} v{vcpu}, activity {:?}, state {:?}, exec {:?})",
-            self.domains[vm].tasks[task].activity,
+            self.domains[vm].task_activity[task],
             self.domains[vm].os.task(irs_guest::TaskId(task)).state,
             self.domains[vm].exec[vcpu],
         );
         self.sync_exec(vm, vcpu);
         let d = &mut self.domains[vm];
-        if let crate::domain::Activity::Computing { remaining, useful } = d.tasks[task].activity {
+        if let crate::domain::Activity::Computing { remaining, useful } = d.task_activity[task] {
             debug_assert_eq!(remaining, 0, "segment completed with time left");
             d.useful_ns += useful;
         }
-        d.tasks[task].activity = crate::domain::Activity::Resume;
+        d.task_activity[task] = crate::domain::Activity::Resume;
         self.advance_task(vm, task);
     }
 
@@ -797,9 +803,8 @@ impl System {
         // charge that time before switching.
         self.sync_exec(vm, vcpu);
         self.fill_views(vm);
-        let outcome = self.domains[vm]
-            .os
-            .process_softirqs(vcpu, self.now, &self.view_buf);
+        let d = &mut self.domains[vm];
+        let outcome = d.os.process_softirqs(vcpu, self.now, &d.view_buf);
         self.apply_guest_actions(vm, outcome.actions);
         if let Some(op) = outcome.sa_ack {
             let now = self.now;
@@ -899,7 +904,8 @@ impl System {
     fn on_migrator_run(&mut self, vm: usize) {
         self.domains[vm].migrator_armed = false;
         self.fill_views(vm);
-        let acts = self.domains[vm].os.migrator_run(&self.view_buf);
+        let d = &mut self.domains[vm];
+        let acts = d.os.migrator_run(&d.view_buf);
         self.apply_guest_actions(vm, acts);
     }
 
@@ -914,7 +920,7 @@ impl System {
             .current(vcpu)
             .is_some_and(|t| {
                 matches!(
-                    self.domains[vm].tasks[t.0].activity,
+                    self.domains[vm].task_activity[t.0],
                     crate::domain::Activity::SpinWait { granted: false }
                         | crate::domain::Activity::GraceSpin { granted: false }
                 )
@@ -936,7 +942,7 @@ impl System {
             } => {
                 let d = &mut self.domains[vm];
                 d.tasks[w.0].req_open = Some(self.now);
-                d.tasks[w.0].activity = crate::domain::Activity::Resume;
+                d.task_activity[w.0] = crate::domain::Activity::Resume;
                 self.wake_task(vm, w.0);
             }
             OfferOutcome::Accepted {
@@ -956,10 +962,10 @@ impl System {
     }
 
     fn on_wake_timer(&mut self, vm: usize, task: usize) {
-        if self.domains[vm].tasks[task].activity != crate::domain::Activity::Sleeping {
+        if self.domains[vm].task_activity[task] != crate::domain::Activity::Sleeping {
             return;
         }
-        self.domains[vm].tasks[task].activity = crate::domain::Activity::Resume;
+        self.domains[vm].task_activity[task] = crate::domain::Activity::Resume;
         self.wake_task(vm, task);
     }
 
@@ -1097,7 +1103,8 @@ impl System {
             // Nothing local: idle balancing may pull from a busy sibling
             // (the receiving end of the guest's nohz kick).
             self.fill_views(vm);
-            let acts = self.domains[vm].os.idle_balance(vcpu, &self.view_buf);
+            let d = &mut self.domains[vm];
+            let acts = d.os.idle_balance(vcpu, &d.view_buf);
             self.apply_guest_actions(vm, acts);
         }
         if self.domains[vm].os.current(vcpu).is_some() {
@@ -1192,7 +1199,7 @@ impl System {
                         .scaled_f64(self.domains[vm].memory_intensity)
                         .as_nanos();
                     let d = &mut self.domains[vm];
-                    match &mut d.tasks[task.0].activity {
+                    match &mut d.task_activity[task.0] {
                         crate::domain::Activity::Computing { remaining, .. } => {
                             // Mid-segment and queued: lengthen the segment.
                             *remaining += penalty;
@@ -1230,7 +1237,19 @@ impl System {
     // ==================================================================
 
     /// (Re)arms slice-expiry timers for pCPUs whose dispatch changed.
+    ///
+    /// Guarded by the machine-wide dispatch epoch: every component of a
+    /// [`DispatchInfo`](irs_xen::DispatchInfo) snapshot (current vCPU,
+    /// start, slice, generation) only changes together with a
+    /// `dispatch_gen` bump, which also bumps the epoch — so an unchanged
+    /// epoch proves the whole scan would be a no-op and most events skip
+    /// it entirely.
     fn refresh_slice_timers(&mut self) {
+        let epoch = self.hv.dispatch_epoch();
+        if self.armed_epoch == Some(epoch) {
+            return;
+        }
+        self.armed_epoch = Some(epoch);
         for p in 0..self.hv.n_pcpus() {
             match self.hv.dispatch_info(PcpuId(p)) {
                 Some(info) => {
@@ -1250,21 +1269,49 @@ impl System {
         }
     }
 
-    /// Refills [`System::view_buf`] with the guest-visible per-vCPU views
-    /// (runstate + steal EWMA) for `vm`. In-place so the hot dispatch loop
-    /// never allocates; callers borrow `self.view_buf` right after.
+    /// Refills the domain's `view_buf` with the guest-visible per-vCPU
+    /// views (runstate + steal EWMA) for `vm`. In-place so the hot
+    /// dispatch loop never allocates; callers borrow `d.view_buf` right
+    /// after.
+    ///
+    /// The refill is skipped entirely when the cached buffer is provably
+    /// identical to what the loop would rebuild: no vCPU anywhere changed
+    /// runstate since the fill (the hypervisor's machine-wide
+    /// `runstate_epoch` is unchanged, so every state byte is the same) and
+    /// `now` is still inside every tracker's quiescent window (so each
+    /// recomputed `steal_frac` would be the unchanged `ewma` the cache
+    /// already holds). Trackers are only mutated here and in
+    /// [`steal_fold`](Self::steal_fold), which invalidates the cache when
+    /// it touches one.
     pub(crate) fn fill_views(&mut self, vm: usize) {
-        let n = self.domains[vm].os.n_vcpus();
-        self.view_buf.clear();
-        for i in 0..n {
-            let v = VcpuRef::new(irs_xen::VmId(vm), i);
-            let info = self.hv.runstate(v, self.now);
-            let frac = self.domains[vm].steal[i].update(&info);
-            self.view_buf.push(VcpuView {
-                state: info.state,
+        let now = self.now;
+        let System { hv, domains, .. } = self;
+        let d = &mut domains[vm];
+        let epoch = hv.runstate_epoch(irs_xen::VmId(vm));
+        if d.views_epoch == epoch && now < d.views_deadline {
+            return;
+        }
+        debug_assert_eq!(d.steal.len(), d.os.n_vcpus());
+        d.view_buf.clear();
+        let mut horizon = SimTime::MAX;
+        for (tracker, clock) in d.steal.iter_mut().zip(hv.vm_clocks(irs_xen::VmId(vm))) {
+            // Sub-ms window: `update` would return `ewma` untouched, so
+            // skip the snapshot arithmetic and read only the state byte.
+            let frac = if tracker.quiescent_at(now) {
+                tracker.ewma
+            } else {
+                let info = clock.info(now);
+                debug_assert_eq!(info.total(), now, "runstate clocks must account all time");
+                tracker.update(&info)
+            };
+            horizon = horizon.min(tracker.quiescent_until());
+            d.view_buf.push(VcpuView {
+                state: clock.state(),
                 steal_frac: frac,
             });
         }
+        d.views_epoch = epoch;
+        d.views_deadline = horizon;
     }
 
     /// The state-mutating half of [`fill_views`](Self::fill_views) alone:
@@ -1275,11 +1322,19 @@ impl System {
     /// stale here is unobservable, and the EWMA float sequence (the part
     /// that must stay bit-identical) is the same either way.
     pub(crate) fn steal_fold(&mut self, vm: usize) {
-        let d = &mut self.domains[vm];
-        for (i, tracker) in d.steal.iter_mut().enumerate() {
-            let v = VcpuRef::new(irs_xen::VmId(vm), i);
-            let info = self.hv.runstate(v, self.now);
-            let _ = tracker.update(&info);
+        let now = self.now;
+        let System { hv, domains, .. } = self;
+        let d = &mut domains[vm];
+        let mut touched = false;
+        for (tracker, clock) in d.steal.iter_mut().zip(hv.vm_clocks(irs_xen::VmId(vm))) {
+            if !tracker.quiescent_at(now) {
+                let _ = tracker.update(&clock.info(now));
+                touched = true;
+            }
+        }
+        if touched {
+            // The cached views hold pre-fold EWMA values now.
+            d.views_deadline = SimTime::ZERO;
         }
     }
 
@@ -1358,23 +1413,23 @@ fn elidable(hv: &Hypervisor, domains: &[Domain], t: SimTime, ev: &Event) -> bool
             // dominate the event mix on idle-heavy scenarios.
             domains[vm].tick_gen[vcpu] != gen || domains[vm].os.tick_is_quiet(vcpu)
         }
-        Event::TaskStep { vm, task, gen } => domains[vm].tasks[task].step_gen != gen,
+        Event::TaskStep { vm, task, gen } => domains[vm].task_step_gen[task] != gen,
         Event::SaProcess { vm, vcpu, gen } | Event::SaTimeout { vm, vcpu, gen } => {
             let v = VcpuRef::new(irs_xen::VmId(vm), vcpu);
             !hv.is_sa_pending(v) || hv.sa_generation(v) != gen
         }
         Event::PleWindow { vm, vcpu, gen } => domains[vm].ple_gen[vcpu] != gen,
         Event::WakeTimer { vm, task } => {
-            domains[vm].tasks[task].activity != crate::domain::Activity::Sleeping
+            domains[vm].task_activity[task] != crate::domain::Activity::Sleeping
         }
         Event::GraceExpire { vm, task, gen } => {
-            domains[vm].tasks[task].wait_gen != gen
-                || domains[vm].tasks[task].activity
+            domains[vm].task_wait_gen[task] != gen
+                || domains[vm].task_activity[task]
                     != (crate::domain::Activity::GraceSpin { granted: false })
         }
         Event::PvSpinExpire { vm, task, gen } => {
-            domains[vm].tasks[task].wait_gen != gen
-                || domains[vm].tasks[task].activity
+            domains[vm].task_wait_gen[task] != gen
+                || domains[vm].task_activity[task]
                     != (crate::domain::Activity::SpinWait { granted: false })
         }
         _ => false,

@@ -195,7 +195,10 @@ impl GuestOs {
     /// that path runs any simultaneous timer work first (§4.2's rule).
     pub fn tick(&mut self, vcpu: usize, now: SimTime, views: &[VcpuView]) -> SoftirqOutcome {
         self.raise_softirq(vcpu, Softirq::Timer);
-        let mut outcome = SoftirqOutcome::default();
+        let mut outcome = SoftirqOutcome {
+            actions: self.out_buf(),
+            sa_ack: None,
+        };
         self.softirq_pending[vcpu] &= !Softirq::Timer.bit();
         self.timer_softirq(vcpu, now, views, &mut outcome.actions);
         outcome
@@ -243,7 +246,10 @@ impl GuestOs {
         now: SimTime,
         views: &[VcpuView],
     ) -> SoftirqOutcome {
-        let mut outcome = SoftirqOutcome::default();
+        let mut outcome = SoftirqOutcome {
+            actions: self.out_buf(),
+            sa_ack: None,
+        };
         if self.softirq_pending[vcpu] & Softirq::Timer.bit() != 0 {
             self.softirq_pending[vcpu] &= !Softirq::Timer.bit();
             self.timer_softirq(vcpu, now, views, &mut outcome.actions);
@@ -251,7 +257,9 @@ impl GuestOs {
         if self.softirq_pending[vcpu] & Softirq::Upcall.bit() != 0 {
             self.softirq_pending[vcpu] &= !Softirq::Upcall.bit();
             let sa = self.upcall_softirq(vcpu);
-            outcome.actions.extend(sa.actions);
+            let mut buf = sa.actions;
+            outcome.actions.append(&mut buf);
+            self.recycle_actions(buf);
             outcome.sa_ack = Some(sa.op);
         }
         outcome

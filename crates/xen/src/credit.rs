@@ -51,26 +51,27 @@ impl Hypervisor {
     pub fn tick(&mut self, now: SimTime) -> Vec<HvAction> {
         let mut out = self.out_buf();
         let tick_ns = self.cfg.tick_period.as_nanos().max(1);
-        for vm in 0..self.vcpus.len() {
-            for idx in 0..self.vcpus[vm].len() {
-                let vc = &mut self.vcpus[vm][idx];
-                let run = vc.clock.info(now).running;
-                let delta = run.saturating_sub(vc.burn_baseline).as_nanos();
-                vc.burn_baseline = run;
-                if delta > 0 {
-                    let burn = (delta as i64 * CREDITS_PER_TICK) / tick_ns as i64;
-                    vc.credits = (vc.credits - burn).max(CREDIT_FLOOR);
-                    let credits = vc.credits;
-                    self.trace.emit(now, || TraceEvent::CreditTick {
-                        vm,
-                        vcpu: idx,
-                        burned: burn,
-                        credits,
-                    });
-                }
-                let vc = &mut self.vcpus[vm][idx];
-                vc.refresh_priority();
+        // One linear pass over the flat vCPU arena (VM-major order, same as
+        // the old per-VM nesting).
+        for i in 0..self.vcpus.len() {
+            let vc = &mut self.vcpus[i];
+            let run = vc.clock.info(now).running;
+            let delta = run.saturating_sub(vc.burn_baseline).as_nanos();
+            vc.burn_baseline = run;
+            if delta > 0 {
+                let burn = (delta as i64 * CREDITS_PER_TICK) / tick_ns as i64;
+                vc.credits = (vc.credits - burn).max(CREDIT_FLOOR);
+                let credits = vc.credits;
+                let vref = vc.vref;
+                self.trace.emit(now, || TraceEvent::CreditTick {
+                    vm: vref.vm.0,
+                    vcpu: vref.idx,
+                    burned: burn,
+                    credits,
+                });
             }
+            let vc = &mut self.vcpus[i];
+            vc.refresh_priority();
         }
         for p in 0..self.pcpus.len() {
             let pid = PcpuId(p);
@@ -99,9 +100,11 @@ impl Hypervisor {
             let pot = CREDITS_PER_ACCT * self.pcpus.len() as i64;
             for vm_idx in 0..self.vms.len() {
                 let share = pot * self.vms[vm_idx].weight as i64 / total_weight as i64;
-                let active: Vec<usize> = (0..self.vcpus[vm_idx].len())
+                let base = self.vm_base[vm_idx] as usize;
+                let n = self.vms[vm_idx].n_vcpus;
+                let active: Vec<usize> = (base..base + n)
                     .filter(|&i| {
-                        let v = &self.vcpus[vm_idx][i];
+                        let v = &self.vcpus[i];
                         v.state().wants_cpu() || v.credits < 0
                     })
                     .collect();
@@ -110,7 +113,7 @@ impl Hypervisor {
                 }
                 let per_vcpu = share / active.len() as i64;
                 for i in active {
-                    let v = &mut self.vcpus[vm_idx][i];
+                    let v = &mut self.vcpus[i];
                     v.credits = (v.credits + per_vcpu).min(CREDIT_CAP);
                     v.refresh_priority();
                 }
@@ -139,19 +142,17 @@ impl Hypervisor {
     /// co-scheduling, where the embedder's gang-rotate epilogue keys off
     /// every processed event.
     pub fn tick_is_noop(&self, now: SimTime) -> bool {
-        for vm in &self.vcpus {
-            for vc in vm {
-                if vc.clock.info(now).running != vc.burn_baseline {
-                    return false;
-                }
-                let derived = if vc.credits > 0 {
-                    CreditPriority::Under
-                } else {
-                    CreditPriority::Over
-                };
-                if vc.priority != derived {
-                    return false;
-                }
+        for vc in &self.vcpus {
+            if vc.clock.info(now).running != vc.burn_baseline {
+                return false;
+            }
+            let derived = if vc.credits > 0 {
+                CreditPriority::Under
+            } else {
+                CreditPriority::Over
+            };
+            if vc.priority != derived {
+                return false;
             }
         }
         self.pcpus_quiescent()
@@ -166,11 +167,9 @@ impl Hypervisor {
         if self.cfg.relaxed_co.is_some() {
             return false;
         }
-        for vm in &self.vcpus {
-            for vc in vm {
-                if vc.state().wants_cpu() || vc.credits < 0 {
-                    return false;
-                }
+        for vc in &self.vcpus {
+            if vc.state().wants_cpu() || vc.credits < 0 {
+                return false;
             }
         }
         self.pcpus_quiescent()
@@ -265,7 +264,7 @@ impl Hypervisor {
         }
         self.remove_queued(next, pcpu);
         self.stats.global.preemptions += 1;
-        self.stats.vcpu_mut(cur).preemptions += 1;
+        self.vc_mut(cur).stats.preemptions += 1;
         self.stop_current(pcpu, RunState::Runnable, now, &mut out);
         self.dispatch(pcpu, next, now, ScheduleReason::Degrade, &mut out);
         out
@@ -281,7 +280,7 @@ impl Hypervisor {
             return out;
         }
         self.stats.global.wakes += 1;
-        self.stats.vcpu_mut(v).wakes += 1;
+        self.vc_mut(v).stats.wakes += 1;
 
         let target = if self.cfg.migration && !self.cfg.strict_co && self.vc(v).affinity.is_none()
         {
@@ -293,6 +292,7 @@ impl Hypervisor {
             self.stats.global.vcpu_migrations += 1;
         }
 
+        self.runstate_epoch[v.vm.0] += 1;
         {
             let boost = self.cfg.boost;
             let cooldown = self.cfg.accounting_period;
@@ -329,6 +329,7 @@ impl Hypervisor {
                 // and current on its target without descheduling the
                 // incumbent, double-booking the pCPU.
                 self.remove_queued(v, target);
+                self.runstate_epoch[v.vm.0] += 1;
                 self.vc_mut(v).clock.transition(RunState::Running, now);
                 self.pcpus[target.0].current = Some(v);
                 return out;
@@ -491,6 +492,7 @@ impl Hypervisor {
                 p.dispatch_start = now;
                 p.cur_slice = slice;
                 p.dispatch_gen += 1;
+                self.dispatch_epoch += 1;
             }
             return;
         }
@@ -508,7 +510,7 @@ impl Hypervisor {
         let next = best.expect("switch implies a candidate");
         self.remove_queued(next, pcpu);
         self.stats.global.preemptions += 1;
-        self.stats.vcpu_mut(c).preemptions += 1;
+        self.vc_mut(c).stats.preemptions += 1;
         self.stop_current(pcpu, RunState::Runnable, now, out);
         self.dispatch(pcpu, next, now, reason, out);
     }
@@ -531,6 +533,7 @@ impl Hypervisor {
         // than a tick sustain BOOST indefinitely (a boost storm) and starve
         // plain-UNDER siblings queued behind them.
         self.vc_mut(c).unboost();
+        self.runstate_epoch[c.vm.0] += 1;
         self.vc_mut(c).clock.transition(to, now);
         self.trace.emit(now, || match to {
             RunState::Runnable => TraceEvent::Preempt {
@@ -548,6 +551,7 @@ impl Hypervisor {
             self.enqueue(c, pcpu);
         }
         self.pcpus[pcpu.0].dispatch_gen += 1;
+        self.dispatch_epoch += 1;
         out.push(HvAction::VcpuStopped { vcpu: c, state: to });
     }
 
@@ -568,6 +572,7 @@ impl Hypervisor {
             vcpu: next.idx,
             reason: reason.as_str(),
         });
+        self.runstate_epoch[next.vm.0] += 1;
         {
             let vc = self.vc_mut(next);
             debug_assert_eq!(vc.state(), RunState::Runnable);
@@ -581,7 +586,8 @@ impl Hypervisor {
         p.dispatch_start = now;
         p.cur_slice = slice;
         p.dispatch_gen += 1;
-        self.stats.vcpu_mut(next).dispatches += 1;
+        self.dispatch_epoch += 1;
+        self.vc_mut(next).stats.dispatches += 1;
         // Yield flags are one-shot (Xen clears CSCHED_FLAG_VCPU_YIELD once
         // the scheduler has acted on it): anyone still queued after this
         // completed decision competes normally next time.

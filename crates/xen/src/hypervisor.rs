@@ -25,9 +25,27 @@ pub struct Hypervisor {
     pub(crate) cfg: XenConfig,
     pub(crate) pcpus: Vec<Pcpu>,
     pub(crate) vms: Vec<Vm>,
-    pub(crate) vcpus: Vec<Vec<Vcpu>>,
+    /// All vCPUs in one contiguous arena, VM-major (every VM's vCPUs are
+    /// adjacent, in index order). Keeping the hot per-vCPU scheduler state
+    /// in a single flat allocation is what lets the 10 ms tick and the
+    /// 30 ms accounting pass stream linearly instead of chasing one heap
+    /// allocation per VM; [`Hypervisor::vm_base`] maps a [`VmId`] to its
+    /// first slot.
+    pub(crate) vcpus: Vec<Vcpu>,
+    /// `vm_base[vm]` = index of `vm`'s first vCPU in [`Hypervisor::vcpus`].
+    pub(crate) vm_base: Vec<u32>,
     pub(crate) stats: StatsStore,
     pub(crate) queue_seq: u64,
+    /// Bumps whenever *any* pCPU's dispatch changes (a superset counter
+    /// over the per-pCPU `dispatch_gen`s). Embedders compare it between
+    /// events to skip the all-pCPU slice-timer re-arm scan when no
+    /// dispatch moved — which is most events.
+    pub(crate) dispatch_epoch: u64,
+    /// Per-VM runstate epochs: `runstate_epoch[vm]` bumps on every
+    /// runstate transition of one of that VM's vCPUs. If two reads return
+    /// the same value, none of the VM's vCPUs changed state in between, so
+    /// cached guest-visible runstate views for it are still exact.
+    pub(crate) runstate_epoch: Vec<u64>,
     pub(crate) started: bool,
     /// The VM currently holding the gang slot (strict co-scheduling only).
     pub(crate) gang_current: Option<VmId>,
@@ -53,8 +71,11 @@ impl Hypervisor {
             pcpus: (0..n_pcpus).map(|i| Pcpu::new(PcpuId(i))).collect(),
             vms: Vec::new(),
             vcpus: Vec::new(),
+            vm_base: Vec::new(),
             stats: StatsStore::default(),
             queue_seq: 0,
+            dispatch_epoch: 0,
+            runstate_epoch: Vec::new(),
             started: false,
             gang_current: None,
             spare_bufs: Vec::new(),
@@ -111,7 +132,9 @@ impl Hypervisor {
             }
         }
         let vm_id = VmId(self.vms.len());
-        let vcpus = (0..spec.n_vcpus)
+        self.vm_base.push(self.vcpus.len() as u32);
+        self.runstate_epoch.push(0);
+        let vcpus: Vec<Vcpu> = (0..spec.n_vcpus)
             .map(|i| {
                 let vref = VcpuRef::new(vm_id, i);
                 let (affinity, home) = match &spec.pinning {
@@ -146,7 +169,7 @@ impl Hypervisor {
             sa_capable: spec.sa_capable,
             n_vcpus: spec.n_vcpus,
         });
-        self.vcpus.push(vcpus);
+        self.vcpus.extend(vcpus);
         vm_id
     }
 
@@ -161,6 +184,7 @@ impl Hypervisor {
     /// Panics if called after `start`.
     pub fn block_before_start(&mut self, v: VcpuRef) {
         assert!(!self.started, "block_before_start() only applies before start()");
+        self.runstate_epoch[v.vm.0] += 1;
         self.vc_mut(v)
             .clock
             .transition(RunState::Blocked, SimTime::ZERO);
@@ -178,7 +202,6 @@ impl Hypervisor {
         let refs: Vec<VcpuRef> = self
             .vcpus
             .iter()
-            .flatten()
             .filter(|v| v.state() == RunState::Runnable)
             .map(|v| v.vref)
             .collect();
@@ -203,12 +226,29 @@ impl Hypervisor {
     // internal accessors
     // ------------------------------------------------------------------
 
+    #[inline]
     pub(crate) fn vc(&self, v: VcpuRef) -> &Vcpu {
-        &self.vcpus[v.vm.0][v.idx]
+        &self.vcpus[self.vm_base[v.vm.0] as usize + v.idx]
     }
 
+    #[inline]
     pub(crate) fn vc_mut(&mut self, v: VcpuRef) -> &mut Vcpu {
-        &mut self.vcpus[v.vm.0][v.idx]
+        &mut self.vcpus[self.vm_base[v.vm.0] as usize + v.idx]
+    }
+
+    /// `vm`'s slice of the flat vCPU arena.
+    #[inline]
+    pub(crate) fn vm_vcpus(&self, vm: VmId) -> &[Vcpu] {
+        let base = self.vm_base[vm.0] as usize;
+        &self.vcpus[base..base + self.vms[vm.0].n_vcpus]
+    }
+
+    /// Mutable form of [`Hypervisor::vm_vcpus`].
+    #[inline]
+    pub(crate) fn vm_vcpus_mut(&mut self, vm: VmId) -> &mut [Vcpu] {
+        let base = self.vm_base[vm.0] as usize;
+        let n = self.vms[vm.0].n_vcpus;
+        &mut self.vcpus[base..base + n]
     }
 
     pub(crate) fn enqueue(&mut self, v: VcpuRef, pcpu: PcpuId) {
@@ -257,7 +297,7 @@ impl Hypervisor {
 
     /// Iterator over every vCPU in the system.
     pub fn all_vcpus(&self) -> impl Iterator<Item = VcpuRef> + '_ {
-        self.vcpus.iter().flatten().map(|v| v.vref)
+        self.vcpus.iter().map(|v| v.vref)
     }
 
     /// The vCPU currently executing on `pcpu`, if any.
@@ -284,6 +324,24 @@ impl Hypervisor {
         self.pcpus[pcpu.0].dispatch_gen
     }
 
+    /// Machine-wide dispatch epoch: bumps whenever any pCPU's dispatch
+    /// changes. If two reads return the same value, every
+    /// [`Hypervisor::dispatch_info`] snapshot is unchanged between them,
+    /// so per-pCPU timer re-arm scans can be skipped wholesale.
+    #[inline]
+    pub fn dispatch_epoch(&self) -> u64 {
+        self.dispatch_epoch
+    }
+
+    /// Per-VM runstate epoch: bumps on every runstate transition of one of
+    /// `vm`'s vCPUs. Equal values across two reads mean every state byte
+    /// of the VM is unchanged between them; embedders use this to keep
+    /// cached per-VM runstate views alive across events.
+    #[inline]
+    pub fn runstate_epoch(&self, vm: VmId) -> u64 {
+        self.runstate_epoch[vm.0]
+    }
+
     /// Current runstate of a vCPU (the cheap form of the hypercall).
     pub fn vcpu_state(&self, v: VcpuRef) -> RunState {
         self.vc(v).state()
@@ -292,6 +350,15 @@ impl Hypervisor {
     /// `VCPUOP_get_runstate_info`: cumulative residencies at `now`.
     pub fn runstate(&self, v: VcpuRef, now: SimTime) -> RunstateInfo {
         self.vc(v).clock.info(now)
+    }
+
+    /// `vm`'s runstate clocks in vCPU-index order — the bulk form of
+    /// [`Hypervisor::runstate`] for embedders that walk a whole VM per
+    /// event. One slice lookup instead of a [`VcpuRef`] resolution per
+    /// vCPU, and the clocks stream out of the contiguous arena.
+    #[inline]
+    pub fn vm_clocks(&self, vm: VmId) -> impl Iterator<Item = &crate::runstate::RunstateClock> + '_ {
+        self.vm_vcpus(vm).iter().map(|v| &v.clock)
     }
 
     /// The pCPU whose runqueue currently owns `v`.
@@ -333,24 +400,24 @@ impl Hypervisor {
 
     /// Counters for one vCPU (zeros if it never scheduled).
     pub fn vcpu_stats(&self, v: VcpuRef) -> VcpuStats {
-        self.stats.per_vcpu.get(&v).cloned().unwrap_or_default()
+        self.vc(v).stats.clone()
     }
 
     /// True if any vCPU of `vm` currently wants CPU.
     pub fn vm_wants_cpu(&self, vm: VmId) -> bool {
-        self.vcpus[vm.0].iter().any(|v| v.state().wants_cpu())
+        self.vm_vcpus(vm).iter().any(|v| v.state().wants_cpu())
     }
 
     /// Total CPU time consumed by `vm` up to `now`.
     pub fn vm_cpu_time(&self, vm: VmId, now: SimTime) -> SimTime {
-        self.vcpus[vm.0]
+        self.vm_vcpus(vm)
             .iter()
             .fold(SimTime::ZERO, |acc, v| acc + v.clock.info(now).running)
     }
 
     /// Total steal time suffered by `vm` up to `now`.
     pub fn vm_steal_time(&self, vm: VmId, now: SimTime) -> SimTime {
-        self.vcpus[vm.0]
+        self.vm_vcpus(vm)
             .iter()
             .fold(SimTime::ZERO, |acc, v| acc + v.clock.info(now).runnable)
     }
@@ -401,48 +468,46 @@ impl Hypervisor {
     ///
     /// Panics with a descriptive message if any invariant is violated.
     pub fn check_invariants(&self) {
-        for vm in &self.vcpus {
-            for v in vm {
-                let vref = v.vref;
-                let home = &self.pcpus[v.home.0];
-                let queued: usize = self
-                    .pcpus
-                    .iter()
-                    .map(|p| p.runq.iter().filter(|&&q| q == vref).count())
-                    .sum();
-                let current_on: Vec<PcpuId> = self
-                    .pcpus
-                    .iter()
-                    .filter(|p| p.current == Some(vref))
-                    .map(|p| p.id)
-                    .collect();
-                match v.state() {
-                    RunState::Running => {
-                        assert_eq!(
-                            current_on,
-                            vec![v.home],
-                            "{vref} is Running but current on {current_on:?}, home {}",
-                            v.home
-                        );
-                        assert_eq!(queued, 0, "{vref} Running but also queued");
-                    }
-                    RunState::Runnable => {
-                        assert!(current_on.is_empty(), "{vref} Runnable but current");
-                        assert_eq!(queued, 1, "{vref} Runnable queued {queued} times");
-                        assert!(
-                            home.runq.contains(&vref),
-                            "{vref} queued away from home {}",
-                            v.home
-                        );
-                    }
-                    RunState::Blocked | RunState::Offline => {
-                        assert!(current_on.is_empty(), "{vref} {} but current", v.state());
-                        assert_eq!(queued, 0, "{vref} {} but queued", v.state());
-                    }
+        for v in &self.vcpus {
+            let vref = v.vref;
+            let home = &self.pcpus[v.home.0];
+            let queued: usize = self
+                .pcpus
+                .iter()
+                .map(|p| p.runq.iter().filter(|&&q| q == vref).count())
+                .sum();
+            let current_on: Vec<PcpuId> = self
+                .pcpus
+                .iter()
+                .filter(|p| p.current == Some(vref))
+                .map(|p| p.id)
+                .collect();
+            match v.state() {
+                RunState::Running => {
+                    assert_eq!(
+                        current_on,
+                        vec![v.home],
+                        "{vref} is Running but current on {current_on:?}, home {}",
+                        v.home
+                    );
+                    assert_eq!(queued, 0, "{vref} Running but also queued");
                 }
-                if let Some(pin) = v.affinity {
-                    assert_eq!(v.home, pin, "{vref} strayed from its pin {pin}");
+                RunState::Runnable => {
+                    assert!(current_on.is_empty(), "{vref} Runnable but current");
+                    assert_eq!(queued, 1, "{vref} Runnable queued {queued} times");
+                    assert!(
+                        home.runq.contains(&vref),
+                        "{vref} queued away from home {}",
+                        v.home
+                    );
                 }
+                RunState::Blocked | RunState::Offline => {
+                    assert!(current_on.is_empty(), "{vref} {} but current", v.state());
+                    assert_eq!(queued, 0, "{vref} {} but queued", v.state());
+                }
+            }
+            if let Some(pin) = v.affinity {
+                assert_eq!(v.home, pin, "{vref} strayed from its pin {pin}");
             }
         }
         for p in &self.pcpus {

@@ -73,7 +73,7 @@ pub use config::{PleConfig, RelaxedCoConfig, SaConfig, XenConfig};
 pub use hypervisor::Hypervisor;
 pub use ids::{PcpuId, VcpuRef, Virq, VmId};
 pub use pcpu::DispatchInfo;
-pub use runstate::{RunState, RunstateInfo};
+pub use runstate::{RunState, RunstateClock, RunstateInfo};
 pub use stats::{HvStats, VcpuStats};
 pub use vcpu::CreditPriority;
 pub use vm::VmSpec;

@@ -32,10 +32,8 @@ impl Hypervisor {
             .skew_threshold;
 
         // Last period's parks expire first: every vCPU gets a fresh chance.
-        for vm in &mut self.vcpus {
-            for v in vm {
-                v.parked = false;
-            }
+        for v in &mut self.vcpus {
+            v.parked = false;
         }
 
         for vm_idx in 0..self.vms.len() {
@@ -45,7 +43,8 @@ impl Hypervisor {
             // Progress = running + blocked (idle-as-progress); lag = steal.
             // Measured against the baseline captured at the last trigger so
             // skew is per-round, as a co-stop/co-start cycle would be.
-            let progress: Vec<(VcpuRef, SimTime)> = self.vcpus[vm_idx]
+            let progress: Vec<(VcpuRef, SimTime)> = self
+                .vm_vcpus(crate::ids::VmId(vm_idx))
                 .iter()
                 .map(|v| {
                     let info = v.clock.info(now);
@@ -67,7 +66,7 @@ impl Hypervisor {
                 continue;
             }
             // Reset the measurement round.
-            for v in &mut self.vcpus[vm_idx] {
+            for v in self.vm_vcpus_mut(crate::ids::VmId(vm_idx)) {
                 let info = v.clock.info(now);
                 v.co_baseline = info.running + info.blocked;
             }

@@ -50,7 +50,7 @@ impl Hypervisor {
         }
         self.pcpus[pcpu.0].sa_wait = Some(vcpu);
         self.stats.global.sa_sent += 1;
-        self.stats.vcpu_mut(vcpu).sa_received += 1;
+        self.vc_mut(vcpu).stats.sa_received += 1;
         self.trace.emit(now, || TraceEvent::SaSend {
             vm: vcpu.vm.0,
             vcpu: vcpu.idx,
@@ -105,7 +105,7 @@ impl Hypervisor {
         {
             self.vc_mut(vcpu).yield_bias = true;
             self.stats.global.preemptions += 1;
-            self.stats.vcpu_mut(vcpu).preemptions += 1;
+            self.vc_mut(vcpu).stats.preemptions += 1;
             self.stop_current(pcpu, RunState::Runnable, now, &mut out);
             self.do_schedule(pcpu, now, ScheduleReason::SaTimeout, false, &mut out);
         } else {

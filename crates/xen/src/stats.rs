@@ -4,9 +4,6 @@
 //! migration counts for the CPU-stacking analysis) and the test suite's
 //! invariant checks.
 
-use crate::ids::VcpuRef;
-use std::collections::HashMap;
-
 /// Global hypervisor counters.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HvStats {
@@ -47,31 +44,34 @@ pub struct VcpuStats {
     pub wakes: u64,
 }
 
-/// Container bundling the global and per-vCPU counters.
+/// Container for the global counters. Per-vCPU counters live inline on
+/// each `Vcpu` in the flat arena (see `Hypervisor::vcpu_stats`): the hot
+/// paths that bump them already hold the vCPU's cache lines, and the old
+/// `HashMap<VcpuRef, VcpuStats>` hashed on every context switch.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct StatsStore {
     pub global: HvStats,
-    pub per_vcpu: HashMap<VcpuRef, VcpuStats>,
-}
-
-impl StatsStore {
-    pub(crate) fn vcpu_mut(&mut self, v: VcpuRef) -> &mut VcpuStats {
-        self.per_vcpu.entry(v).or_default()
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ids::VmId;
+    use crate::config::XenConfig;
+    use crate::hypervisor::Hypervisor;
+    use crate::ids::{PcpuId, VcpuRef};
+    use crate::vm::VmSpec;
+    use irs_sim::SimTime;
 
     #[test]
-    fn vcpu_mut_creates_on_demand() {
-        let mut s = StatsStore::default();
-        let v = VcpuRef::new(VmId(1), 3);
-        s.vcpu_mut(v).preemptions += 1;
-        s.vcpu_mut(v).preemptions += 1;
-        assert_eq!(s.per_vcpu[&v].preemptions, 2);
+    fn inline_vcpu_stats_count_dispatches() {
+        // The per-vCPU counters live inline on the flat vCPU arena now;
+        // exercise them end-to-end through a real dispatch.
+        let mut hv = Hypervisor::new(XenConfig::default(), 1);
+        let vm = hv.create_vm(VmSpec::new(1).pin_all(PcpuId(0)));
+        hv.start(SimTime::ZERO);
+        let v = VcpuRef::new(vm, 0);
+        assert_eq!(hv.vcpu_stats(v).dispatches, 1);
+        assert_eq!(hv.vcpu_stats(v).preemptions, 0);
     }
 
     #[test]

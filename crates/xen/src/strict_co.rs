@@ -54,7 +54,7 @@ impl Hypervisor {
         let mut next = None;
         for off in 0..n_vms {
             let cand = VmId((start + off) % n_vms);
-            let wants = self.vcpus[cand.0].iter().any(|v| v.state().wants_cpu());
+            let wants = self.vm_vcpus(cand).iter().any(|v| v.state().wants_cpu());
             if wants {
                 next = Some(cand);
                 break;
@@ -81,7 +81,7 @@ impl Hypervisor {
             if let Some(cur) = self.pcpus[p].current {
                 if cur.vm != gang {
                     self.stats.global.preemptions += 1;
-                    self.stats.vcpu_mut(cur).preemptions += 1;
+                    self.vc_mut(cur).stats.preemptions += 1;
                     self.stop_current(pid, RunState::Runnable, now, &mut out);
                 }
             }
@@ -101,7 +101,7 @@ impl Hypervisor {
     pub fn gang_vm_fully_idle(&self) -> bool {
         match self.gang_current {
             None => true,
-            Some(vm) => !self.vcpus[vm.0].iter().any(|v| v.state().wants_cpu()),
+            Some(vm) => !self.vm_vcpus(vm).iter().any(|v| v.state().wants_cpu()),
         }
     }
 }

@@ -63,6 +63,10 @@ pub(crate) struct Vcpu {
     pub co_baseline: SimTime,
     /// When this vCPU last received BOOST (rate-limits boost storms).
     pub last_boost: Option<SimTime>,
+    /// Per-vCPU event counters, kept inline so the dispatch/preempt hot
+    /// paths bump them on the cache lines they already touch (previously a
+    /// `HashMap<VcpuRef, VcpuStats>` hashed on every context switch).
+    pub stats: crate::stats::VcpuStats,
 }
 
 impl Vcpu {
@@ -82,6 +86,7 @@ impl Vcpu {
             burn_baseline: SimTime::ZERO,
             co_baseline: SimTime::ZERO,
             last_boost: None,
+            stats: crate::stats::VcpuStats::default(),
         }
     }
 

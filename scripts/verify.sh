@@ -4,8 +4,11 @@
 # parallel-runner smoke test, a tickless equivalence pass (sanitizer
 # armed, fast-forward on), and a checked fault-injection chaos smoke.
 # Also regenerates BENCH_runner.json (via `figures perf --check-perf`,
-# which fails the build on a combined-speedup regression below 1.0) and
-# records the total verification wall-clock in its `verify_wall_s` field.
+# which fails the build on a combined-speedup regression below 1.0, on a
+# queue-throughput drop below the timer-wheel floor, or on any phase
+# falling past the ratchet tolerance of its best matching
+# BENCH_history.jsonl record) and records the total verification
+# wall-clock in its `verify_wall_s` field.
 #
 # Usage: scripts/verify.sh   (from the repository root)
 set -euo pipefail
