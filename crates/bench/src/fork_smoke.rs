@@ -1,0 +1,123 @@
+//! `figures fork_smoke` — end-to-end smoke test of the snapshot/fork
+//! path, runnable from the CLI (and from `scripts/verify.sh`).
+//!
+//! For every strategy × fault-profile cell it runs the scenario from
+//! scratch, then again through [`irs_core::runner::run_forked`] (one
+//! shared warmup, several branches through the worker pool), and asserts
+//! the branches are **bit-identical** to the scratch run — the
+//! [`irs_core::Snapshot`] determinism contract, exercised over the same
+//! surface the perf grid and chaos campaign use. The table reports the
+//! events each cell's sharing avoided re-executing, so a warmup that
+//! silently stopped covering the prefix (zero saved events) is visible,
+//! not just a slower run.
+
+use crate::Opts;
+use irs_core::{runner, FaultConfig, Scenario, Strategy, System, SystemConfig};
+use irs_metrics::{Series, Table};
+use irs_sim::SimTime;
+
+/// Virtual-time warmup depth: enough scheduling history (SA round trips,
+/// credit refills, fault arrivals) to make the shared prefix non-trivial,
+/// well short of any cell's completion.
+const WARMUP: SimTime = SimTime::from_millis(40);
+
+/// Branches per cell. Three is the smallest count that exercises both
+/// branch-vs-scratch and branch-vs-branch identity through the pool.
+const BRANCHES: usize = 3;
+
+/// The strategy rows: the paper's three contenders plus vanilla credit.
+const SMOKE_STRATEGIES: [Strategy; 4] = [
+    Strategy::Vanilla,
+    Strategy::Ple,
+    Strategy::RelaxedCo,
+    Strategy::Irs,
+];
+
+/// Fault columns: clean, one chatty protocol-fault family, and the
+/// everything-at-once stack — so the RNG stream, wedge windows, and
+/// fault stats all cross the snapshot boundary somewhere in the grid.
+fn profiles() -> Vec<(&'static str, Option<FaultConfig>)> {
+    vec![
+        ("none", None),
+        ("ack-chaos", Some(FaultConfig::ack_chaos())),
+        ("everything", Some(FaultConfig::everything())),
+    ]
+}
+
+/// Runs the smoke grid and builds the table.
+///
+/// # Panics
+///
+/// Panics if any forked branch diverges from its from-scratch run — that
+/// is the point of the smoke test.
+pub fn fork_smoke(opts: Opts) -> Table {
+    let scenario =
+        |strategy| Scenario::fig5_style("EP", 1, strategy, opts.base_seed);
+    let mut table = Table::new(format!(
+        "Fork smoke — {BRANCHES} branches off one warmup, events saved per cell (EP, 1 hog)"
+    ));
+    for (name, faults) in profiles() {
+        let mut series = Series::new(name);
+        for strategy in SMOKE_STRATEGIES {
+            let cfg = SystemConfig {
+                faults: faults.clone(),
+                ..SystemConfig::default()
+            };
+            let scratch = System::with_config(scenario(strategy), cfg.clone()).run();
+            let want = format!("{scratch:?}");
+            let (branches, saved) =
+                runner::run_forked(scenario(strategy), cfg, WARMUP, BRANCHES, opts.jobs);
+            assert_eq!(branches.len(), BRANCHES);
+            for (bi, b) in branches.iter().enumerate() {
+                assert_eq!(
+                    format!("{b:?}"),
+                    want,
+                    "forked branch {bi} diverged from scratch ({strategy}, faults={name})"
+                );
+            }
+            series.point(format!("{strategy}"), saved as f64);
+        }
+        table.add(series);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The table (and therefore every identity assertion inside) must be
+    /// bit-identical at any worker count.
+    #[test]
+    fn fork_smoke_table_is_bit_identical_across_jobs() {
+        let mk = |jobs| {
+            fork_smoke(Opts {
+                seeds: 1,
+                base_seed: 1,
+                jobs,
+            })
+            .render()
+        };
+        assert_eq!(mk(1), mk(2));
+    }
+
+    /// Every cell must actually share a non-empty warmup: a zero says the
+    /// snapshot was taken at boot and the smoke test smoked nothing.
+    #[test]
+    fn every_cell_saves_warmup_events() {
+        for (name, faults) in profiles() {
+            let cfg = SystemConfig {
+                faults: faults.clone(),
+                ..SystemConfig::default()
+            };
+            let (_, saved) = runner::run_forked(
+                Scenario::fig5_style("EP", 1, Strategy::Irs, 1),
+                cfg,
+                WARMUP,
+                BRANCHES,
+                1,
+            );
+            assert!(saved > 0, "profile {name} shared an empty warmup");
+        }
+    }
+}

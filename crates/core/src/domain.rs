@@ -48,7 +48,7 @@ pub(crate) struct ExecCtx {
 /// [`Domain`] (`task_activity` / `task_step_gen` / `task_wait_gen`), so a
 /// staleness probe reads one element of a dense `u64` array instead of
 /// dereferencing into this struct past the program runner.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct TaskRt {
     pub runner: ProgramRunner,
     /// Pending cache warm-up penalty (ns) added to the next segment.
@@ -113,7 +113,7 @@ impl StealTracker {
 }
 
 /// Everything the simulation keeps per VM.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct Domain {
     pub name: String,
     pub os: GuestOs,

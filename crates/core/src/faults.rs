@@ -206,7 +206,10 @@ pub(crate) enum AckFate {
 }
 
 /// Live fault-injection state owned by a [`System`](crate::System) run.
-#[derive(Debug)]
+///
+/// `Clone` is a complete copy — RNG position, wedge windows, and stats —
+/// so a restored snapshot replays the exact same fault schedule.
+#[derive(Debug, Clone)]
 pub(crate) struct FaultState {
     cfg: FaultConfig,
     rng: SimRng,

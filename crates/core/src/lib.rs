@@ -70,5 +70,6 @@ pub use results::{RunResult, VmResult};
 pub use scenario::{Scenario, VmScenario};
 pub use strategy::Strategy;
 pub use system::{
-    set_tickless_enabled, take_tickless_events_saved, tickless_enabled, System, SystemConfig,
+    set_tickless_enabled, take_tickless_events_saved, tickless_enabled, Snapshot, System,
+    SystemConfig,
 };

@@ -6,7 +6,9 @@
 use crate::parallel;
 use crate::results::RunResult;
 use crate::scenario::Scenario;
+use crate::system::{System, SystemConfig};
 use irs_metrics::Summary;
+use irs_sim::SimTime;
 
 /// Default repetition count, matching the paper's five-run averages.
 pub const DEFAULT_SEEDS: u64 = 5;
@@ -83,6 +85,38 @@ pub fn grid_mean_makespans(
         .collect()
 }
 
+/// One warmup, many branches: builds the scenario, runs it to `warmup`
+/// virtual time once, snapshots, and completes `branches` forked copies
+/// through the worker pool (`jobs` as in [`run_seeds_jobs`]; `0` = process
+/// default).
+///
+/// Every branch is bit-identical to a from-scratch run of the same
+/// `(scenario, cfg)` pair — the [`crate::Snapshot`] determinism contract —
+/// so this is the primitive for campaigns whose grid repeats a cell: pay
+/// the shared warmup prefix once instead of once per repeat. Returns the
+/// per-branch results plus the number of events the sharing avoided
+/// re-executing (`warmup events × (branches − 1)`).
+///
+/// A `warmup` past the run's completion is harmless: the snapshot is then
+/// of the finished state and branches return immediately (still
+/// bit-identical — [`System::run`] re-checks completion before stepping).
+pub fn run_forked(
+    scenario: Scenario,
+    cfg: SystemConfig,
+    warmup: SimTime,
+    branches: usize,
+    jobs: usize,
+) -> (Vec<RunResult>, u64) {
+    let mut sys = System::with_config(scenario, cfg);
+    sys.run_until(warmup);
+    let snap = sys.snapshot();
+    let saved = snap
+        .events_processed()
+        .saturating_mul(branches.saturating_sub(1) as u64);
+    let results = parallel::ordered_map(jobs, branches, |_| snap.resume().run());
+    (results, saved)
+}
+
 /// Mean improvement (%) of a variant over a baseline, both averaged over
 /// the same seeds — the y-axis of Figs 5, 6, 10, 11, 12, 13.
 pub fn mean_improvement_pct<B, V>(base_seed: u64, seeds: u64, baseline: B, variant: V) -> f64
@@ -143,6 +177,23 @@ mod tests {
         let b = quick(2).run();
         // Jittered compute makes exact ties essentially impossible.
         assert_ne!(a.measured().makespan, b.measured().makespan);
+    }
+
+    #[test]
+    fn forked_branches_match_scratch() {
+        let scratch = quick(3).run();
+        let (branches, saved) = run_forked(
+            quick(3),
+            SystemConfig::default(),
+            SimTime::from_millis(50),
+            3,
+            2,
+        );
+        assert_eq!(branches.len(), 3);
+        assert!(saved > 0, "a 50 ms warmup must have processed events");
+        for b in &branches {
+            assert_eq!(format!("{b:?}"), format!("{scratch:?}"));
+        }
     }
 
     #[test]

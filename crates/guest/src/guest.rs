@@ -23,7 +23,11 @@ pub(crate) struct StopRequest {
 /// The Linux-like guest kernel of one VM.
 ///
 /// See the [crate-level documentation](crate) for scope and an example.
-#[derive(Debug)]
+///
+/// `GuestOs` is `Clone` for `System::snapshot()` checkpointing: the clone
+/// copies all CFS/softirq/migrator state; the embedded trace ring clones
+/// its configuration but starts empty (rings are observability, not state).
+#[derive(Debug, Clone)]
 pub struct GuestOs {
     pub(crate) cfg: GuestConfig,
     pub(crate) tasks: Vec<Task>,

@@ -111,7 +111,7 @@ const WHEEL_BITS: u32 = LEVEL_BITS * LEVELS as u32;
 /// A wheel entry carrying its payload inline. No intrinsic ordering: slot
 /// drains sort by the total key `(at, seq)` (`seq` is unique, so ties are
 /// FIFO by schedule order, exactly as the old heap broke them).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Entry<E> {
     at: SimTime,
     seq: u64,
@@ -139,7 +139,20 @@ struct Entry<E> {
 /// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
 /// assert_eq!(order, vec!['a', 'b', 'c']);
 /// ```
-#[derive(Debug)]
+///
+/// # Snapshots
+///
+/// `EventQueue<E: Clone>` is `Clone`, and the clone is a *complete* state
+/// copy: slab generations, free list, sequence counter, cursor, occupancy
+/// bitmaps, head batch, and overflow list all carry over. A clone is
+/// therefore observationally identical to the original under every
+/// subsequent operation sequence — pops return the same `(time, seq)`
+/// order, new schedules receive the same `EventId`s, and handles issued
+/// before the clone remain valid against it. This is the foundation of
+/// `System::snapshot()` checkpointing (DESIGN.md §2.7). Handles issued
+/// *after* the clone point belong to the timeline that issued them and
+/// must not be used against the other copy.
+#[derive(Debug, Clone)]
 pub struct EventQueue<E> {
     /// Live-or-dead entries at or before the cursor, sorted by `(at, seq)`
     /// **descending** so the global minimum pops from the back in O(1).
@@ -402,7 +415,20 @@ impl<E> EventQueue<E> {
     #[inline]
     fn place(&mut self, e: Entry<E>) {
         let t = Self::tick_of(e.at);
-        debug_assert!(t > self.cursor, "place() is for future entries only");
+        if t <= self.cursor {
+            // At or before the wheel position. The level computation below
+            // is only defined for strictly-future ticks (`t == cursor`
+            // underflows the `63 - leading_zeros` shift; `t < cursor` picks
+            // a level from bits the cursor has already swept), so such
+            // entries belong in the head batch, same as `schedule`'s own
+            // at-or-before-cursor path. Both in-tree callers pre-filter
+            // this case — `schedule` into `insert_head`, `route` into
+            // `scratch` — so this arm is defensive, but it must be correct
+            // rather than an assert: an at-cursor tick is a legitimate
+            // instant to schedule for.
+            self.insert_head(e);
+            return;
+        }
         let l = ((63 - (t ^ self.cursor).leading_zeros()) / LEVEL_BITS) as usize;
         if l >= LEVELS {
             self.overflow.push(e);
@@ -870,6 +896,91 @@ mod tests {
             assert_eq!(got.map(|(_, p)| p), Some(i));
         }
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn schedule_at_pop_time_fires_immediately() {
+        // The "now" of a driver loop: after popping an event, scheduling
+        // another at exactly the popped instant (the cursor's own tick)
+        // must neither abort nor mis-file — it is simply the next head.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(tick_ns(100)), 1);
+        q.schedule(SimTime::from_nanos(tick_ns(200)), 2);
+        let (t, p) = q.pop().unwrap();
+        assert_eq!((t.as_nanos(), p), (tick_ns(100), 1));
+        q.schedule(t, 3);
+        assert_eq!(q.peek_time(), Some(t));
+        assert_eq!(drain(&mut q), vec![(tick_ns(100), 3), (tick_ns(200), 2)]);
+    }
+
+    /// Slab-allocates like `schedule` but hands the entry straight to
+    /// `place`, bypassing `schedule`'s own at-or-before-cursor pre-filter —
+    /// this is the only way to pin `place`'s defensive head arm directly.
+    fn raw_place(q: &mut EventQueue<u32>, at: SimTime, payload: u32) {
+        let slot = match q.free.pop() {
+            Some(s) => s,
+            None => {
+                q.gens.push(0);
+                q.hints.push(NO_HINT);
+                (q.gens.len() - 1) as u32
+            }
+        };
+        let gen = q.gens[slot as usize];
+        let seq = q.next_seq;
+        q.next_seq += 1;
+        q.live += 1;
+        q.physical += 1;
+        q.place(Entry {
+            at,
+            seq,
+            slot,
+            gen,
+            payload,
+        });
+    }
+
+    #[test]
+    fn place_at_or_before_cursor_routes_to_head() {
+        // Regression: `place` used to carry
+        // `debug_assert!(t > self.cursor)` and an at-cursor tick underflowed
+        // the level computation (63 - 64 leading_zeros) — aborting in debug
+        // and filing into a garbage level in release. Both the `t == cursor`
+        // and `t < cursor` cases must land in the head and pop in order.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(tick_ns(5000)), 0);
+        q.schedule(SimTime::from_nanos(tick_ns(9000) + 10), 4);
+        q.pop(); // drags the cursor to tick 9000
+        assert_eq!(q.cursor, 9000);
+        raw_place(&mut q, SimTime::from_nanos(tick_ns(9000)), 3); // t == cursor
+        raw_place(&mut q, SimTime::from_nanos(tick_ns(7)), 2); // t < cursor
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(tick_ns(7))));
+        assert_eq!(
+            drain(&mut q),
+            vec![(tick_ns(7), 2), (tick_ns(9000), 3), (tick_ns(9000) + 10, 4)]
+        );
+    }
+
+    #[test]
+    fn clone_is_observationally_identical() {
+        // A cloned queue must behave exactly like the original: same drain
+        // order, same handle validity, same ids for post-clone schedules.
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..50u32)
+            .map(|i| q.schedule(SimTime::from_nanos(tick_ns((i as u64 * 37) % 97) + i as u64), i))
+            .collect();
+        for id in ids.iter().step_by(3) {
+            q.cancel(*id);
+        }
+        q.pop();
+        let mut c = q.clone();
+        // Pre-clone handles work against the clone...
+        assert_eq!(q.cancel(ids[4]), c.cancel(ids[4]));
+        // ...post-clone schedules mint identical ids on both timelines...
+        let a = q.schedule(SimTime::from_nanos(5), 999);
+        let b = c.schedule(SimTime::from_nanos(5), 999);
+        assert_eq!(a, b);
+        // ...and the drains agree element for element.
+        assert_eq!(drain(&mut q), drain(&mut c));
     }
 
     #[test]

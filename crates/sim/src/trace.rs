@@ -276,6 +276,22 @@ pub struct TraceRing {
     records: VecDeque<TraceRecord>,
 }
 
+/// Cloning a ring clones its *configuration* (enabled flag and capacity),
+/// not its contents: the clone starts empty. Trace rings are observability,
+/// not simulation state — the `System::snapshot()` machinery (DESIGN.md
+/// §2.7) deliberately excludes captured records from checkpoints, and this
+/// `Clone` is what encodes that at the type level. Structures that embed a
+/// ring can simply `#[derive(Clone)]` and inherit the exclusion.
+impl Clone for TraceRing {
+    fn clone(&self) -> Self {
+        if self.enabled {
+            TraceRing::enabled(self.capacity)
+        } else {
+            TraceRing::disabled()
+        }
+    }
+}
+
 impl TraceRing {
     /// Creates a disabled ring: every `record`/`emit` call is a no-op.
     pub fn disabled() -> Self {
@@ -490,6 +506,16 @@ mod tests {
         ] {
             assert!(dump.contains(needle), "dump missing {needle:?}:\n{dump}");
         }
+    }
+
+    #[test]
+    fn clone_copies_config_not_contents() {
+        let mut ring = TraceRing::enabled(3);
+        ring.record(SimTime::ZERO, "t", || "a".to_string());
+        let copy = ring.clone();
+        assert!(copy.is_enabled());
+        assert!(copy.records().is_empty(), "records are not state");
+        assert!(!TraceRing::disabled().clone().is_enabled());
     }
 
     #[test]

@@ -10,7 +10,7 @@ use proptest::prelude::*;
 /// cancellation removing exactly one pending entry. The real queue
 /// (inline-payload heap + generation slab) must be indistinguishable
 /// from this under any operation interleaving.
-#[derive(Default)]
+#[derive(Default, Clone)]
 struct ModelQueue {
     pending: Vec<(u64, u64, u32)>, // (time, seq, payload)
     next_seq: u64,
@@ -87,14 +87,23 @@ fn wheel_time_strategy() -> impl Strategy<Value = u64> {
 }
 
 /// One step of the equivalence-test interleaving: `(op, a, b)` where
-/// `op` selects schedule/cancel/pop/peek/pop_if/clear (clear deliberately
-/// rare — it appears at 1-in-20 so interleavings still build up deep
-/// queues), `a` picks a schedule time (doubling as the pop_if time
-/// bound), and `b` picks which outstanding handle a cancel targets
-/// (doubling as the pop_if payload parity).
+/// `op` selects schedule/cancel/pop/peek/pop_if/clear/snapshot/restore
+/// (clear deliberately rare — it appears at 1-in-24 so interleavings
+/// still build up deep queues; snapshot and restore each land at 1-in-12
+/// so a sequence routinely clones mid-cascade and rewinds across it),
+/// `a` picks a schedule time (doubling as the pop_if time bound), and
+/// `b` picks which outstanding handle a cancel targets (doubling as the
+/// pop_if payload parity).
 fn step_strategy() -> impl Strategy<Value = (u8, u64, u8)> {
-    (0u8..20, wheel_time_strategy(), 0u8..255)
-        .prop_map(|(op, a, b)| (if op == 19 { 5 } else { op % 5 }, a, b))
+    (0u8..24, wheel_time_strategy(), 0u8..255).prop_map(|(op, a, b)| {
+        let op = match op {
+            19 => 5,
+            20 | 21 => 6,
+            22 | 23 => 7,
+            _ => op % 5,
+        };
+        (op, a, b)
+    })
 }
 
 proptest! {
@@ -108,6 +117,13 @@ proptest! {
         // Parallel vectors: handle i in one maps to handle i in the other.
         let mut real_ids: Vec<EventId> = Vec::new();
         let mut model_ids: Vec<u64> = Vec::new();
+        // Snapshot for the snapshot/restore ops: a clone of the real queue
+        // (the wheel's `Clone` is the snapshot primitive under test — slab,
+        // generations, occupancy bitmaps, overflow list, cursor), the model
+        // state, and the handle-vector length at snapshot time. Restore
+        // truncates the handle vectors: handles minted after the snapshot
+        // belong to the abandoned timeline.
+        let mut snap: Option<(EventQueue<u32>, ModelQueue, usize, u32)> = None;
         let mut payload = 0u32;
         for (op, a, b) in ops {
             match op {
@@ -145,13 +161,34 @@ proptest! {
                     let want = model.pop_if(|t, p| t <= a && p % 2 == parity);
                     prop_assert_eq!(got, want);
                 }
-                _ => {
+                5 => {
                     // Clear: both queues drop everything. The handle
                     // vectors are deliberately kept — later cancels with
                     // pre-clear handles must report false in both, even
                     // after the real queue recycles those slots.
                     real.clear();
                     model.pending.clear();
+                }
+                6 => {
+                    // Snapshot: clone both queues at an arbitrary instant —
+                    // mid-cascade, with overflow pending, with cancelled
+                    // corpses still in slots. Overwrites any prior snapshot.
+                    snap = Some((real.clone(), model.clone(), real_ids.len(), payload));
+                }
+                _ => {
+                    // Restore: rewind to the snapshot (no-op when none was
+                    // taken). From here the interleaving continues on the
+                    // restored state, so cancel-then-cascade and far-future
+                    // overflow promotion replay across the rewind — and the
+                    // clone must behave identically to the original, not
+                    // just render identically.
+                    if let Some((r, m, keep, p)) = &snap {
+                        real = r.clone();
+                        model = m.clone();
+                        real_ids.truncate(*keep);
+                        model_ids.truncate(*keep);
+                        payload = *p;
+                    }
                 }
             }
             prop_assert_eq!(real.len(), model.pending.len());

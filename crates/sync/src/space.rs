@@ -45,7 +45,7 @@ sync_id!(
 /// All synchronization objects of one VM's workload.
 ///
 /// See the [crate-level example](crate) for usage.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct SyncSpace {
     locks: Vec<Lock>,
     barriers: Vec<Barrier>,

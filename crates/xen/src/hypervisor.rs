@@ -20,7 +20,13 @@ use irs_sim::SimTime;
 ///
 /// See the [crate-level documentation](crate) for the scope of the model and
 /// an end-to-end example.
-#[derive(Debug)]
+///
+/// `Hypervisor` is `Clone` for `System::snapshot()` checkpointing: the
+/// clone is a complete copy of scheduler state (credit arena, runqueues,
+/// SA rounds, runstate clocks, stats), except the trace ring, whose clone
+/// keeps configuration but starts empty (rings are observability, not
+/// state — see `irs_sim::trace`).
+#[derive(Debug, Clone)]
 pub struct Hypervisor {
     pub(crate) cfg: XenConfig,
     pub(crate) pcpus: Vec<Pcpu>,

@@ -5,7 +5,7 @@ use irs_sim::SimTime;
 use std::collections::VecDeque;
 
 /// Per-pCPU scheduler state.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct Pcpu {
     pub id: PcpuId,
     /// The vCPU currently executing, if any.

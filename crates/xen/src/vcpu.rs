@@ -32,7 +32,7 @@ impl fmt::Display for CreditPriority {
 }
 
 /// Scheduler bookkeeping for one virtual CPU.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct Vcpu {
     /// Identity.
     pub vref: VcpuRef,

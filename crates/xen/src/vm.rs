@@ -78,7 +78,7 @@ impl VmSpec {
 }
 
 /// Internal per-VM record.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct Vm {
     pub weight: u64,
     pub sa_capable: bool,

@@ -2,9 +2,11 @@
 # Tier-1 verification: release build, full test suite, a lint gate, a
 # checked strategy sweep (online invariant sanitizer armed), a
 # parallel-runner smoke test, a tickless equivalence pass (sanitizer
-# armed, fast-forward on), and a checked fault-injection chaos smoke.
+# armed, fast-forward on), a checked fault-injection chaos smoke, and a
+# snapshot/fork smoke (forked branches bit-identical to from-scratch
+# runs across strategies and fault profiles).
 # Also regenerates BENCH_runner.json (via `figures perf --check-perf`,
-# which fails the build on a combined-speedup regression below 1.0, on a
+# which fails the build on a combined-speedup regression below 0.85, on a
 # queue-throughput drop below the timer-wheel floor, or on any phase
 # falling past the ratchet tolerance of its best matching
 # BENCH_history.jsonl record) and records the total verification
@@ -36,6 +38,9 @@ echo "== figures tickless sweep (fast-forward on, sanitizer armed) =="
 
 echo "== figures chaos (fault-injection campaign, sanitizer armed) =="
 ./target/release/figures chaos --quick --check --jobs 2 >/dev/null
+
+echo "== figures fork smoke (snapshot/fork bit-identity) =="
+./target/release/figures --fork-smoke --quick --jobs 2 >/dev/null
 
 echo "== figures perf (regression gate; writes BENCH_runner.json) =="
 ./target/release/figures perf --quick --jobs 2 --check-perf
