@@ -13,8 +13,9 @@
 //! (`io_latency`, `ablate_strict_co`, `stacking_baseline`,
 //! `ablate_pingpong`, `ablate_idle_first`, `ablate_sa_delay`,
 //! `ablate_pull`, `ablate_slice`, `ablate_pv_spin`, `chaos`,
-//! `fork_smoke` — also reachable as the `--fork-smoke` flag), and `perf`
-//! (engine self-benchmark; writes BENCH_runner.json).
+//! `fork_smoke` — also reachable as the `--fork-smoke` flag), `perf`
+//! (engine self-benchmark; writes BENCH_runner.json), and `fleet` (the
+//! datacenter-scale fleet campaign; `--smoke` shrinks it for CI).
 //!
 //! `--jobs N` sets the worker-thread count for the run fan-out (default:
 //! all available cores). Tables are identical for every worker count.
@@ -31,8 +32,12 @@
 //! boxes), the queue micro-benchmark drops below its absolute floor,
 //! or any phase regresses past the ratchet tolerance against the best
 //! matching `BENCH_history.jsonl` record (same phase / tickless flag /
-//! worker count). Each `perf` invocation appends one line per measured
-//! phase to `BENCH_history.jsonl` for trend tracking.
+//! worker count / host core count). Each `perf` invocation appends one
+//! line per measured phase to `BENCH_history.jsonl` for trend tracking;
+//! `fleet` appends one record per campaign (phase `fleet` or
+//! `fleet-smoke`) and `--check-perf` ratchets its events/sec the same
+//! way — except under `--check`, where the sanitizer tax makes runs
+//! incomparable and the fleet neither logs nor ratchets.
 
 use irs_bench::fig5_6::Interference;
 use irs_bench::Opts;
@@ -42,7 +47,7 @@ use std::time::Instant;
 /// Every experiment name the dispatcher understands, in presentation
 /// order, tagged with whether the `core` alias includes it (`all` takes
 /// the whole list). The single source for [`usage`] and alias expansion.
-const EXPERIMENTS: [(&str, bool); 25] = [
+const EXPERIMENTS: [(&str, bool); 26] = [
     ("fig1a", true),
     ("fig1b", true),
     ("fig2", true),
@@ -68,6 +73,7 @@ const EXPERIMENTS: [(&str, bool); 25] = [
     ("ablate_pv_spin", false),
     ("chaos", false),
     ("fork_smoke", false),
+    ("fleet", false),
 ];
 
 fn usage() -> ! {
@@ -80,7 +86,7 @@ fn usage() -> ! {
             .join(" ")
     };
     eprintln!(
-        "usage: figures <experiment>... [--seeds N] [--base-seed S] [--jobs N] [--quick] [--check] [--tickless] [--check-perf] [--csv DIR]\n\
+        "usage: figures <experiment>... [--seeds N] [--base-seed S] [--jobs N] [--quick] [--check] [--tickless] [--check-perf] [--smoke] [--csv DIR]\n\
          experiments:\n\
          \u{20} {}\n\
          \u{20} {}\n\
@@ -148,12 +154,8 @@ fn run_experiment(exp: &str, opts: Opts) -> Vec<Table> {
     }
 }
 
-/// Appends this `perf` invocation's records to `BENCH_history.jsonl`
-/// (append-only trend log: one line per measured phase, each tagged with
-/// commit, timestamp, and configuration so `--check-perf` can ratchet
-/// against matching records only). History is best-effort — a read-only
-/// checkout warns instead of failing the benchmark.
-fn append_history(report: &irs_bench::perf::PerfReport) {
+/// The current commit and unix time, stamped into every history record.
+fn commit_and_timestamp() -> (String, u64) {
     let commit = std::process::Command::new("git")
         .args(["rev-parse", "--short", "HEAD"])
         .output()
@@ -165,7 +167,15 @@ fn append_history(report: &irs_bench::perf::PerfReport) {
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
-    let lines = report.to_history_lines(&commit, timestamp);
+    (commit, timestamp)
+}
+
+/// Appends records to `BENCH_history.jsonl` (append-only trend log: one
+/// line per measured phase, each tagged with commit, timestamp, and
+/// configuration — including the host core count — so `--check-perf`
+/// can ratchet against matching records only). History is best-effort —
+/// a read-only checkout warns instead of failing the benchmark.
+fn append_history(lines: &str) {
     let appended = std::fs::OpenOptions::new()
         .append(true)
         .create(true)
@@ -184,6 +194,7 @@ fn main() {
     let mut opts = Opts::default();
     let mut csv_dir: Option<String> = None;
     let mut check_perf = false;
+    let mut smoke = false;
     let mut experiments: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -207,6 +218,8 @@ fn main() {
             "--check" => irs_core::check::set_check_enabled(true),
             "--tickless" => irs_core::set_tickless_enabled(true),
             "--check-perf" => check_perf = true,
+            // Shrinks the fleet campaign to its CI variant.
+            "--smoke" => smoke = true,
             // Flag alias so CI scripts read as "run the smoke" rather
             // than an experiment name; equivalent to `fork_smoke`.
             "--fork-smoke" => experiments.push("fork_smoke".to_string()),
@@ -257,11 +270,66 @@ fn main() {
             // Read the trend log *before* appending so the ratchet
             // compares against prior invocations, not this one.
             let history = std::fs::read_to_string("BENCH_history.jsonl").unwrap_or_default();
-            append_history(&report);
+            let (commit, timestamp) = commit_and_timestamp();
+            append_history(&report.to_history_lines(
+                &commit,
+                timestamp,
+                irs_bench::perf::host_cores(),
+            ));
             eprintln!("[perf done in {:.1}s]", start.elapsed().as_secs_f64());
             println!();
             if check_perf {
                 let failures = report.check_perf(&history);
+                if !failures.is_empty() {
+                    for f in &failures {
+                        eprintln!("perf regression: {f}");
+                    }
+                    std::process::exit(1);
+                }
+            }
+            continue;
+        }
+        if exp == "fleet" {
+            let outcome = irs_bench::fleet::fleet(opts, smoke);
+            for (i, table) in outcome.report.tables.iter().enumerate() {
+                print!("{table}");
+                if let Some(dir) = &csv_dir {
+                    let path = format!("{dir}/fleet_{i}.csv");
+                    if let Err(e) = std::fs::write(&path, table.to_csv()) {
+                        eprintln!("cannot write {path}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            eprintln!(
+                "[fleet done in {:.1}s: {} host runs, {} events ({:.0}/s), \
+                 fork_warmup_saved={}, {} tenants placed, {} rejected]",
+                outcome.wall_s,
+                outcome.report.host_runs,
+                outcome.report.events,
+                irs_bench::fleet::events_per_sec(&outcome),
+                outcome.report.fork_warmup_saved,
+                outcome.report.tenants_placed,
+                outcome.report.tenants_rejected,
+            );
+            // Sanitized runs pay the invariant-checking tax, so they are
+            // not comparable to normal records: neither log them nor
+            // ratchet against them (same split as `perf` vs the --check
+            // sweeps in scripts/verify.sh).
+            if irs_core::check::check_enabled() {
+                println!();
+                continue;
+            }
+            let jobs = irs_core::parallel::resolve_jobs(opts.jobs);
+            let cores = irs_bench::perf::host_cores();
+            let history = std::fs::read_to_string("BENCH_history.jsonl").unwrap_or_default();
+            let (commit, timestamp) = commit_and_timestamp();
+            append_history(&irs_bench::fleet::history_line(
+                &outcome, &commit, timestamp, jobs, cores,
+            ));
+            println!();
+            if check_perf {
+                let failures = irs_bench::fleet::check_fleet_perf(&outcome, &history, jobs, cores);
                 if !failures.is_empty() {
                     for f in &failures {
                         eprintln!("perf regression: {f}");

@@ -16,13 +16,11 @@
 //!   worker that happens to run the cell).
 
 use crate::Opts;
-use irs_core::{parallel, FaultConfig, Scenario, Strategy, System, SystemConfig};
+use irs_core::{
+    parallel, FaultConfig, Scenario, Strategy, System, SystemConfig, DEGRADATION_MARGIN,
+};
 use irs_metrics::{Series, Summary, Table};
 use irs_sim::SimTime;
-
-/// Margin on the degradation contract: under every fault mix, IRS's mean
-/// makespan must stay within this factor of vanilla credit's.
-const DEGRADATION_MARGIN: f64 = 1.15;
 
 /// The fault profiles the campaign sweeps, worst-knob-per-column style:
 /// each non-baseline profile turns one fault family up hard, and

@@ -1,0 +1,219 @@
+//! `figures fleet` — the datacenter-scale fleet campaign
+//! (`irs_fleet`), sized for the CLI, plus its BENCH_history.jsonl
+//! records and `--check-perf` ratchet.
+//!
+//! The full campaign runs a 120-host fleet over three churn epochs:
+//! three placement policies × five adversary mixes, plus an overcommit
+//! sweep, every cell simulated under both vanilla and IRS and held to
+//! the degradation contract ([`irs_core::DEGRADATION_MARGIN`]). The
+//! `--smoke` variant shrinks the fleet (16 hosts, 2 policies × 2 mixes)
+//! for CI; it asserts the same contract.
+
+use crate::perf::{json_raw_field, json_str_field, json_usize_field};
+use crate::Opts;
+use irs_fleet::{AdversaryMix, CampaignSpec, FleetConfig, FleetReport, PlacementPolicy};
+use std::time::Instant;
+
+/// Campaign outcome plus the wall-clock facts the history record needs.
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    /// The campaign report (tables, fork sharing, churn accounting).
+    pub report: FleetReport,
+    /// Wall-clock of the whole campaign, seconds.
+    pub wall_s: f64,
+    /// Whether this was the `--smoke` variant (separate history phase).
+    pub smoke: bool,
+}
+
+/// Ratchet tolerance for the fleet phase, matching the perf gate's.
+const RATCHET_FRAC: f64 = 0.5;
+
+/// Builds the campaign spec for the CLI: full-size by default, the CI
+/// smoke variant with `smoke`. `opts.base_seed` seeds the fleet;
+/// `opts.seeds` is ignored (the campaign is a population study — its
+/// sample count is tenant-epochs, not repeated runs).
+pub fn spec(opts: Opts, smoke: bool) -> CampaignSpec {
+    let fleet = FleetConfig {
+        seed: opts.base_seed,
+        jobs: opts.jobs,
+        ..FleetConfig::default()
+    };
+    if smoke {
+        CampaignSpec {
+            fleet: FleetConfig {
+                hosts: 16,
+                epochs: 2,
+                initial_tenants: 28,
+                arrivals_per_epoch: 8,
+                ..fleet
+            },
+            policies: vec![PlacementPolicy::FirstFit, PlacementPolicy::InterferenceAware],
+            mixes: vec![AdversaryMix::CLEAN, AdversaryMix::BLEND],
+            overcommit_sweep: vec![],
+            assert_contract: true,
+        }
+    } else {
+        CampaignSpec {
+            fleet,
+            policies: vec![
+                PlacementPolicy::FirstFit,
+                PlacementPolicy::WorstFit,
+                PlacementPolicy::InterferenceAware,
+            ],
+            mixes: vec![
+                AdversaryMix::CLEAN,
+                AdversaryMix::BOOST,
+                AdversaryMix::STEAL,
+                AdversaryMix::EVADE,
+                AdversaryMix::BLEND,
+            ],
+            overcommit_sweep: vec![1.0, 1.5, 2.0],
+            assert_contract: true,
+        }
+    }
+}
+
+/// Runs the fleet campaign and times it.
+///
+/// # Panics
+///
+/// Panics if any cell violates the degradation contract, or if warmup
+/// sharing shared nothing (a fleet without repeated compositions would
+/// mean the churn model degenerated).
+pub fn fleet(opts: Opts, smoke: bool) -> FleetOutcome {
+    let spec = spec(opts, smoke);
+    let t = Instant::now();
+    let report = irs_fleet::run_campaign(&spec);
+    let wall_s = t.elapsed().as_secs_f64();
+    assert!(
+        report.fork_warmup_saved > 0,
+        "fleet campaign shared no warmups across equal-composition hosts"
+    );
+    FleetOutcome {
+        report,
+        wall_s,
+        smoke,
+    }
+}
+
+/// Simulation throughput of the campaign: events actually executed
+/// (logical volume minus the shared-warmup savings) per wall second.
+pub fn events_per_sec(o: &FleetOutcome) -> f64 {
+    (o.report.events.saturating_sub(o.report.fork_warmup_saved)) as f64 / o.wall_s.max(1e-9)
+}
+
+/// History phase name; smoke and full campaigns ratchet separately
+/// (they simulate different fleets).
+pub fn phase(o: &FleetOutcome) -> &'static str {
+    if o.smoke {
+        "fleet-smoke"
+    } else {
+        "fleet"
+    }
+}
+
+/// One BENCH_history.jsonl record for this campaign, shaped like the
+/// perf phases' records so one trend log covers both campaigns.
+pub fn history_line(
+    o: &FleetOutcome,
+    commit: &str,
+    timestamp: u64,
+    jobs: usize,
+    cores: usize,
+) -> String {
+    format!(
+        "{{\"commit\": \"{commit}\", \"timestamp\": {timestamp}, \"phase\": \"{}\", \
+         \"tickless\": {}, \"jobs\": {jobs}, \"cores\": {cores}, \
+         \"events_per_sec\": {:.0}, \"fork_warmup_saved\": {}, \"host_runs\": {}}}\n",
+        phase(o),
+        irs_core::tickless_enabled(),
+        events_per_sec(o),
+        o.report.fork_warmup_saved,
+        o.report.host_runs,
+    )
+}
+
+/// The fleet side of `--check-perf`: ratchets the campaign's events/sec
+/// against the best matching history record (same phase, tickless flag,
+/// worker count, and host core count — the perf gate's matching rule).
+pub fn check_fleet_perf(
+    o: &FleetOutcome,
+    history: &str,
+    jobs: usize,
+    cores: usize,
+) -> Vec<String> {
+    let tickless = irs_core::tickless_enabled();
+    let current = events_per_sec(o);
+    let best = history
+        .lines()
+        .filter(|l| {
+            json_str_field(l, "phase").as_deref() == Some(phase(o))
+                && crate::perf::json_bool_field(l, "tickless") == Some(tickless)
+                && json_usize_field(l, "jobs") == Some(jobs)
+                && json_usize_field(l, "cores") == Some(cores)
+        })
+        .filter_map(|l| {
+            json_raw_field(l, "events_per_sec")
+                .and_then(|v| v.parse::<f64>().ok())
+                .filter(|v| v.is_finite() && *v > 0.0)
+        })
+        .fold(f64::NAN, f64::max);
+    if best.is_finite() && current < RATCHET_FRAC * best {
+        vec![format!(
+            "{} phase ratchet: {current:.0} events_per_sec is below {:.0}% of the best \
+             matching record ({best:.0}; tickless={tickless}, jobs={jobs}, cores={cores})",
+            phase(o),
+            RATCHET_FRAC * 100.0,
+        )]
+    } else {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(smoke: bool) -> FleetOutcome {
+        FleetOutcome {
+            report: FleetReport {
+                tables: Vec::new(),
+                fork_warmup_saved: 1_000,
+                events: 11_000,
+                host_runs: 40,
+                tenants_placed: 30,
+                tenants_rejected: 2,
+            },
+            wall_s: 2.0,
+            smoke,
+        }
+    }
+
+    #[test]
+    fn history_line_is_one_self_describing_record() {
+        let l = history_line(&outcome(true), "abc1234", 1_700_000_000, 2, 4);
+        assert!(l.ends_with("}\n"));
+        assert_eq!(json_str_field(&l, "phase").as_deref(), Some("fleet-smoke"));
+        assert_eq!(json_usize_field(&l, "jobs"), Some(2));
+        assert_eq!(json_usize_field(&l, "cores"), Some(4));
+        // (11000 - 1000) events / 2 s.
+        assert_eq!(json_raw_field(&l, "events_per_sec").as_deref(), Some("5000"));
+        assert_eq!(json_raw_field(&l, "fork_warmup_saved").as_deref(), Some("1000"));
+    }
+
+    #[test]
+    fn fleet_ratchet_matches_config_and_fires() {
+        let o = outcome(false);
+        let good = "{\"phase\": \"fleet\", \"tickless\": false, \"jobs\": 2, \"cores\": 4, \"events_per_sec\": 6000}\n";
+        assert!(check_fleet_perf(&o, good, 2, 4).is_empty());
+        let fast = "{\"phase\": \"fleet\", \"tickless\": false, \"jobs\": 2, \"cores\": 4, \"events_per_sec\": 99999999}\n";
+        let failures = check_fleet_perf(&o, fast, 2, 4);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("fleet phase ratchet"));
+        // Other phase, jobs, or cores: ignored.
+        assert!(check_fleet_perf(&o, fast, 4, 4).is_empty());
+        assert!(check_fleet_perf(&o, fast, 2, 64).is_empty());
+        let smoke_rec = fast.replace("\"fleet\"", "\"fleet-smoke\"");
+        assert!(check_fleet_perf(&o, &smoke_rec, 2, 4).is_empty());
+    }
+}

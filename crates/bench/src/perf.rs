@@ -169,15 +169,19 @@ impl PerfReport {
 
     /// The `BENCH_history.jsonl` records for one invocation: one line per
     /// measured phase, each self-describing via `phase` / `tickless` /
-    /// `jobs` / `timestamp`. Earlier history lines carried only the
-    /// parallel-phase throughput, which made two entries for the same
+    /// `jobs` / `cores` / `timestamp`. Earlier history lines carried only
+    /// the parallel-phase throughput, which made two entries for the same
     /// commit (e.g. a ticked and a tickless invocation) indistinguishable;
     /// `--check-perf` ratchets each phase against matching records only.
-    pub fn to_history_lines(&self, commit: &str, timestamp: u64) -> String {
+    /// `cores` is the recording host's core count ([`host_cores`]): a
+    /// throughput measured on a multi-core box must never become the
+    /// ratchet baseline for a 1-core container, or vice versa.
+    pub fn to_history_lines(&self, commit: &str, timestamp: u64, cores: usize) -> String {
         let head = |phase: &str, tickless: bool, jobs: usize| {
             format!(
                 "{{\"commit\": \"{commit}\", \"timestamp\": {timestamp}, \
-                 \"phase\": \"{phase}\", \"tickless\": {tickless}, \"jobs\": {jobs}"
+                 \"phase\": \"{phase}\", \"tickless\": {tickless}, \"jobs\": {jobs}, \
+                 \"cores\": {cores}"
             )
         };
         format!(
@@ -206,16 +210,24 @@ impl PerfReport {
     /// `BENCH_history.jsonl` content (pre-append), used to *ratchet*: each
     /// phase's current throughput must stay above [`RATCHET_FRAC`] of the
     /// best history record with the **matching configuration** (same
-    /// phase, tickless flag, and worker count) — records from other
-    /// configurations, legacy lines without a `phase` field, and records
-    /// whose `tickless` / `jobs` / metric fields are malformed (a quoted
-    /// bool, a non-numeric count, a truncated line from an interrupted
-    /// append) are ignored rather than matched by accident: a corrupt
-    /// record must never be able to fail — or pass — the gate. The loose
-    /// fraction absorbs the ±30% wall-clock noise of shared CI boxes
-    /// while still catching structural regressions (a heap-class queue
-    /// would land at ~15% of the wheel's ops/s).
+    /// phase, tickless flag, worker count, and host core count) — records
+    /// from other configurations, legacy lines without a `phase` or
+    /// `cores` field, and records whose `tickless` / `jobs` / `cores` /
+    /// metric fields are malformed (a quoted bool, a non-numeric count, a
+    /// truncated line from an interrupted append) are ignored rather than
+    /// matched by accident: a corrupt record must never be able to fail —
+    /// or pass — the gate. The loose fraction absorbs the ±30% wall-clock
+    /// noise of shared CI boxes while still catching structural
+    /// regressions (a heap-class queue would land at ~15% of the wheel's
+    /// ops/s).
     pub fn check_perf(&self, history: &str) -> Vec<String> {
+        self.check_perf_at(history, host_cores())
+    }
+
+    /// [`check_perf`](Self::check_perf) against an explicit host core
+    /// count (the testable entry point; production use passes
+    /// [`host_cores`]).
+    pub fn check_perf_at(&self, history: &str, cores: usize) -> Vec<String> {
         let mut failures = Vec::new();
         if self.speedup() < SPEEDUP_FLOOR {
             failures.push(format!(
@@ -265,6 +277,7 @@ impl PerfReport {
                     json_str_field(l, "phase").as_deref() == Some(phase)
                         && json_bool_field(l, "tickless") == Some(tickless)
                         && json_usize_field(l, "jobs") == Some(jobs)
+                        && json_usize_field(l, "cores") == Some(cores)
                 })
                 .filter_map(|l| {
                     json_raw_field(l, metric)
@@ -369,13 +382,24 @@ const RATCHET_FRAC: f64 = 0.5;
 /// the precise instruments.
 const SPEEDUP_FLOOR: f64 = 0.85;
 
+/// The recording host's core count, stamped into every history record
+/// and required to match during ratcheting: 1-core CI containers and
+/// multi-core dev boxes measure incomparable throughputs, and mixing
+/// them made the ratchet either toothless (1-core best) or a guaranteed
+/// failure (multi-core best).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// Extract the raw (unquoted) value of a top-level `"key": value` pair
 /// from a single-line JSON object. Good enough for the flat records this
 /// module writes; not a general JSON parser. Matches are anchored: the
 /// quoted key must sit where a key can sit (line start, or after `{` or
 /// `,`), so a string *value* that happens to contain `"jobs":` cannot
 /// alias the `jobs` field.
-fn json_raw_field(line: &str, key: &str) -> Option<String> {
+pub(crate) fn json_raw_field(line: &str, key: &str) -> Option<String> {
     let pat = format!("\"{key}\":");
     let mut from = 0;
     while let Some(off) = line[from..].find(&pat) {
@@ -391,7 +415,7 @@ fn json_raw_field(line: &str, key: &str) -> Option<String> {
 }
 
 /// Like [`json_raw_field`] but strips one layer of surrounding quotes.
-fn json_str_field(line: &str, key: &str) -> Option<String> {
+pub(crate) fn json_str_field(line: &str, key: &str) -> Option<String> {
     let raw = json_raw_field(line, key)?;
     Some(raw.trim_matches('"').to_string())
 }
@@ -399,7 +423,7 @@ fn json_str_field(line: &str, key: &str) -> Option<String> {
 /// Strictly-parsed JSON boolean: only the bare literals `true` / `false`
 /// count. A quoted `"true"`, a `1`, or a truncated token is `None` — the
 /// ratchet must skip such a record, not guess at it.
-fn json_bool_field(line: &str, key: &str) -> Option<bool> {
+pub(crate) fn json_bool_field(line: &str, key: &str) -> Option<bool> {
     match json_raw_field(line, key)?.as_str() {
         "true" => Some(true),
         "false" => Some(false),
@@ -409,7 +433,7 @@ fn json_bool_field(line: &str, key: &str) -> Option<bool> {
 
 /// Strictly-parsed JSON unsigned integer: bare ASCII digits only. Rejects
 /// quoted numbers, signs, floats, and empty tokens.
-fn json_usize_field(line: &str, key: &str) -> Option<usize> {
+pub(crate) fn json_usize_field(line: &str, key: &str) -> Option<usize> {
     let raw = json_raw_field(line, key)?;
     if raw.is_empty() || !raw.bytes().all(|b| b.is_ascii_digit()) {
         return None;
@@ -658,7 +682,7 @@ mod tests {
 
     #[test]
     fn history_lines_are_one_json_object_per_phase() {
-        let lines = report().to_history_lines("abc1234", 1_700_000_000);
+        let lines = report().to_history_lines("abc1234", 1_700_000_000, 8);
         let parsed: Vec<&str> = lines.lines().collect();
         assert_eq!(parsed.len(), 5, "one record per measured phase");
         for l in &parsed {
@@ -667,6 +691,7 @@ mod tests {
             assert_eq!(json_raw_field(l, "timestamp").as_deref(), Some("1700000000"));
             assert!(json_str_field(l, "phase").is_some());
             assert!(json_raw_field(l, "tickless").is_some());
+            assert_eq!(json_usize_field(l, "cores"), Some(8));
         }
         // Phase records carry the numbers the ratchet keys on.
         assert!(parsed[0].contains("\"phase\": \"ticked\""));
@@ -705,18 +730,23 @@ mod tests {
         r.queue_ops_per_sec = 40.0e6;
         // Best matching parallel record is 10x the current report's
         // throughput -> ratchet fires. A same-phase record with a
-        // different job count, and a legacy line without `phase`, must
-        // both be ignored.
+        // different job count, one from a host with a different core
+        // count, a legacy line without `phase`, and a legacy line
+        // without `cores` must all be ignored.
         let history = "\
             {\"commit\": \"old0001\", \"jobs\": 4, \"events_per_sec\": 99999999, \"speedup\": 1.9}\n\
-            {\"commit\": \"old0002\", \"timestamp\": 1, \"phase\": \"parallel\", \"tickless\": true, \"jobs\": 8, \"events_per_sec\": 99999999, \"speedup\": 1.9}\n\
-            {\"commit\": \"old0003\", \"timestamp\": 2, \"phase\": \"parallel\", \"tickless\": true, \"jobs\": 4, \"events_per_sec\": 34560, \"speedup\": 1.9}\n";
-        let failures = r.check_perf(history);
+            {\"commit\": \"old0002\", \"timestamp\": 1, \"phase\": \"parallel\", \"tickless\": true, \"jobs\": 8, \"cores\": 4, \"events_per_sec\": 99999999, \"speedup\": 1.9}\n\
+            {\"commit\": \"old0004\", \"timestamp\": 1, \"phase\": \"parallel\", \"tickless\": true, \"jobs\": 4, \"cores\": 64, \"events_per_sec\": 99999999, \"speedup\": 1.9}\n\
+            {\"commit\": \"old0005\", \"timestamp\": 1, \"phase\": \"parallel\", \"tickless\": true, \"jobs\": 4, \"events_per_sec\": 99999999, \"speedup\": 1.9}\n\
+            {\"commit\": \"old0003\", \"timestamp\": 2, \"phase\": \"parallel\", \"tickless\": true, \"jobs\": 4, \"cores\": 4, \"events_per_sec\": 34560, \"speedup\": 1.9}\n";
+        let failures = r.check_perf_at(history, 4);
         assert_eq!(failures.len(), 1, "{failures:?}");
         assert!(failures[0].contains("parallel phase ratchet"));
         // Within tolerance of the matching record -> passes.
-        let close = "{\"commit\": \"old0003\", \"timestamp\": 2, \"phase\": \"parallel\", \"tickless\": true, \"jobs\": 4, \"events_per_sec\": 4000, \"speedup\": 1.9}\n";
-        assert!(r.check_perf(close).is_empty());
+        let close = "{\"commit\": \"old0003\", \"timestamp\": 2, \"phase\": \"parallel\", \"tickless\": true, \"jobs\": 4, \"cores\": 4, \"events_per_sec\": 4000, \"speedup\": 1.9}\n";
+        assert!(r.check_perf_at(close, 4).is_empty());
+        // The same records never arm the ratchet on a different host.
+        assert!(r.check_perf_at(history, 1).is_empty());
     }
 
     #[test]
@@ -727,14 +757,16 @@ mod tests {
         // corrupt in one field. None may arm the ratchet — the gate used
         // to false-fail when a mangled line's huge number slipped in.
         let history = "\
-            {\"commit\": \"bad1\", \"phase\": \"parallel\", \"tickless\": \"true\", \"jobs\": 4, \"events_per_sec\": 99999999}\n\
-            {\"commit\": \"bad2\", \"phase\": \"parallel\", \"tickless\": 1, \"jobs\": 4, \"events_per_sec\": 99999999}\n\
-            {\"commit\": \"bad3\", \"phase\": \"parallel\", \"tickless\": true, \"jobs\": \"4\", \"events_per_sec\": 99999999}\n\
-            {\"commit\": \"bad4\", \"phase\": \"parallel\", \"tickless\": true, \"jobs\": four, \"events_per_sec\": 99999999}\n\
-            {\"commit\": \"bad5\", \"phase\": \"parallel\", \"tickless\": true, \"jobs\": -4, \"events_per_sec\": 99999999}\n\
-            {\"commit\": \"bad6\", \"phase\": \"parallel\", \"tickless\": true, \"jobs\": 4, \"events_per_sec\": NaN}\n\
-            {\"commit\": \"bad7\", \"phase\": \"parallel\", \"tickless\": true, \"jobs\": 4, \"events_per_sec\":\n";
-        assert!(r.check_perf(history).is_empty(), "{:?}", r.check_perf(history));
+            {\"commit\": \"bad1\", \"phase\": \"parallel\", \"tickless\": \"true\", \"jobs\": 4, \"cores\": 4, \"events_per_sec\": 99999999}\n\
+            {\"commit\": \"bad2\", \"phase\": \"parallel\", \"tickless\": 1, \"jobs\": 4, \"cores\": 4, \"events_per_sec\": 99999999}\n\
+            {\"commit\": \"bad3\", \"phase\": \"parallel\", \"tickless\": true, \"jobs\": \"4\", \"cores\": 4, \"events_per_sec\": 99999999}\n\
+            {\"commit\": \"bad4\", \"phase\": \"parallel\", \"tickless\": true, \"jobs\": four, \"cores\": 4, \"events_per_sec\": 99999999}\n\
+            {\"commit\": \"bad5\", \"phase\": \"parallel\", \"tickless\": true, \"jobs\": -4, \"cores\": 4, \"events_per_sec\": 99999999}\n\
+            {\"commit\": \"bad6\", \"phase\": \"parallel\", \"tickless\": true, \"jobs\": 4, \"cores\": \"4\", \"events_per_sec\": 99999999}\n\
+            {\"commit\": \"bad7\", \"phase\": \"parallel\", \"tickless\": true, \"jobs\": 4, \"cores\": 4, \"events_per_sec\": NaN}\n\
+            {\"commit\": \"bad8\", \"phase\": \"parallel\", \"tickless\": true, \"jobs\": 4, \"cores\": 4, \"events_per_sec\":\n";
+        let failures = r.check_perf_at(history, 4);
+        assert!(failures.is_empty(), "{failures:?}");
     }
 
     #[test]

@@ -65,6 +65,14 @@ mod scenario;
 mod strategy;
 mod system;
 
+/// The degradation contract's shared threshold: under faults or hostile
+/// neighbors, IRS's cost metric must stay within this factor of vanilla's
+/// (IRS ≤ vanilla × 1.15). Both the `figures chaos` campaign (per fault
+/// profile) and the `figures fleet` campaign (per policy × adversary-mix
+/// cell) assert against this one constant so the two contracts cannot
+/// drift apart.
+pub const DEGRADATION_MARGIN: f64 = 1.15;
+
 pub use faults::{FaultConfig, FaultStats};
 pub use results::{RunResult, VmResult};
 pub use scenario::{Scenario, VmScenario};

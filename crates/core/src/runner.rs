@@ -117,6 +117,55 @@ pub fn run_forked(
     (results, saved)
 }
 
+/// [`run_forked`] generalized to a whole grid of scenario groups: group
+/// `g` (of `group_sizes.len()`) is warmed up once from `make(g)` and
+/// branched into `group_sizes[g]` forked completions.
+///
+/// Both the warmups and the branches fan out through the worker pool in
+/// one canonical order each (group-major), so results are bit-identical
+/// for every `jobs` value. Returns the per-group branch results plus the
+/// total number of events the sharing avoided re-executing (the sum of
+/// each group's `warmup events × (size − 1)`).
+///
+/// This is the fleet campaign's primitive: hosts with identical tenant
+/// composition are identical simulations, so one warmup serves them all.
+pub fn run_forked_grid<F>(
+    jobs: usize,
+    warmup: SimTime,
+    cfg: &SystemConfig,
+    group_sizes: &[usize],
+    make: F,
+) -> (Vec<Vec<RunResult>>, u64)
+where
+    F: Fn(usize) -> Scenario + Sync,
+{
+    let snaps = parallel::ordered_map(jobs, group_sizes.len(), |g| {
+        let mut sys = System::with_config(make(g), cfg.clone());
+        sys.run_until(warmup);
+        sys.snapshot()
+    });
+    let saved = snaps
+        .iter()
+        .zip(group_sizes)
+        .map(|(s, &n)| {
+            s.events_processed()
+                .saturating_mul(n.saturating_sub(1) as u64)
+        })
+        .sum();
+    // Flatten to one branch fan-out: slot i belongs to group `owner[i]`.
+    let owner: Vec<usize> = group_sizes
+        .iter()
+        .enumerate()
+        .flat_map(|(g, &n)| std::iter::repeat_n(g, n))
+        .collect();
+    let flat = parallel::ordered_map(jobs, owner.len(), |i| snaps[owner[i]].resume().run());
+    let mut grouped: Vec<Vec<RunResult>> = group_sizes.iter().map(|&n| Vec::with_capacity(n)).collect();
+    for (i, r) in flat.into_iter().enumerate() {
+        grouped[owner[i]].push(r);
+    }
+    (grouped, saved)
+}
+
 /// Mean improvement (%) of a variant over a baseline, both averaged over
 /// the same seeds — the y-axis of Figs 5, 6, 10, 11, 12, 13.
 pub fn mean_improvement_pct<B, V>(base_seed: u64, seeds: u64, baseline: B, variant: V) -> f64
@@ -193,6 +242,31 @@ mod tests {
         assert!(saved > 0, "a 50 ms warmup must have processed events");
         for b in &branches {
             assert_eq!(format!("{b:?}"), format!("{scratch:?}"));
+        }
+    }
+
+    #[test]
+    fn forked_grid_matches_scratch_per_group() {
+        let make = |g: usize| {
+            // Two distinct groups: vanilla and IRS of the same workload.
+            let strat = if g == 0 { Strategy::Vanilla } else { Strategy::Irs };
+            Scenario::fig5_style("EP", 1, strat, 11)
+        };
+        let (grouped, saved) = run_forked_grid(
+            2,
+            SimTime::from_millis(40),
+            &SystemConfig::default(),
+            &[2, 3],
+            make,
+        );
+        assert_eq!(grouped[0].len(), 2);
+        assert_eq!(grouped[1].len(), 3);
+        assert!(saved > 0, "two groups of >1 branches must share warmups");
+        for (g, branches) in grouped.iter().enumerate() {
+            let scratch = format!("{:?}", make(g).run());
+            for b in branches {
+                assert_eq!(format!("{b:?}"), scratch);
+            }
         }
     }
 

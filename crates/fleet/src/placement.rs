@@ -1,0 +1,139 @@
+//! Placement policies: which host receives an arriving tenant.
+//!
+//! A policy sees only aggregate per-host state — vCPUs already placed
+//! and an interference signal (steal-time EWMA from the previous
+//! epochs' runs) — mirroring what a real placement controller can
+//! observe without trusting the tenants. All tie-breaks are by lowest
+//! host index, so placement traces are deterministic.
+
+/// Aggregate per-host state the policies decide on.
+#[derive(Debug, Clone, Default)]
+pub struct HostState {
+    /// vCPUs of currently placed tenants.
+    pub used_vcpus: usize,
+    /// Exponentially weighted steal-time fraction observed on this host
+    /// over past epochs (0 = idle or interference-free).
+    pub steal_ewma: f64,
+}
+
+/// The placement policies the campaign compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Lowest-index host with room: packs tenants densely.
+    FirstFit,
+    /// Most-free host: spreads tenants evenly.
+    WorstFit,
+    /// Least-interfered host with room: spreads away from hosts whose
+    /// steal-EWMA says their tenants are fighting (adversary-avoiding).
+    InterferenceAware,
+}
+
+impl PlacementPolicy {
+    /// Stable small id for seed derivation.
+    pub fn id(self) -> u8 {
+        match self {
+            PlacementPolicy::FirstFit => 0,
+            PlacementPolicy::WorstFit => 1,
+            PlacementPolicy::InterferenceAware => 2,
+        }
+    }
+
+    /// Label for table columns.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlacementPolicy::FirstFit => "first-fit",
+            PlacementPolicy::WorstFit => "worst-fit",
+            PlacementPolicy::InterferenceAware => "interf-aware",
+        }
+    }
+
+    /// Picks a host for a tenant needing `need` vCPUs under a per-host
+    /// vCPU `capacity` (pCPUs × overcommit). Returns `None` when the
+    /// fleet is full (the arrival is rejected).
+    pub fn place(self, hosts: &[HostState], capacity: usize, need: usize) -> Option<usize> {
+        let fits = |h: &HostState| h.used_vcpus + need <= capacity;
+        match self {
+            PlacementPolicy::FirstFit => hosts.iter().position(fits),
+            PlacementPolicy::WorstFit => hosts
+                .iter()
+                .enumerate()
+                .filter(|(_, h)| fits(h))
+                // max_by_key returns the *last* max; enumerate in reverse
+                // so ties resolve to the lowest index.
+                .rev()
+                .max_by_key(|(_, h)| capacity - h.used_vcpus)
+                .map(|(i, _)| i),
+            PlacementPolicy::InterferenceAware => hosts
+                .iter()
+                .enumerate()
+                .filter(|(_, h)| fits(h))
+                .rev()
+                // Least steal first; break steal ties by most-free, then
+                // lowest index. Total order via bit patterns is safe:
+                // EWMAs are finite and non-negative.
+                .min_by(|(_, a), (_, b)| {
+                    a.steal_ewma
+                        .total_cmp(&b.steal_ewma)
+                        .then(a.used_vcpus.cmp(&b.used_vcpus))
+                })
+                .map(|(i, _)| i),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hosts(used: &[usize], steal: &[f64]) -> Vec<HostState> {
+        used.iter()
+            .zip(steal)
+            .map(|(&used_vcpus, &steal_ewma)| HostState {
+                used_vcpus,
+                steal_ewma,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn first_fit_packs_lowest_index() {
+        let h = hosts(&[4, 2, 0], &[0.0, 0.0, 0.0]);
+        assert_eq!(PlacementPolicy::FirstFit.place(&h, 4, 2), Some(1));
+    }
+
+    #[test]
+    fn worst_fit_spreads_to_most_free() {
+        let h = hosts(&[4, 2, 0], &[0.0, 0.0, 0.0]);
+        assert_eq!(PlacementPolicy::WorstFit.place(&h, 4, 2), Some(2));
+    }
+
+    #[test]
+    fn worst_fit_breaks_ties_low_index() {
+        let h = hosts(&[2, 2, 2], &[0.0, 0.0, 0.0]);
+        assert_eq!(PlacementPolicy::WorstFit.place(&h, 4, 2), Some(0));
+    }
+
+    #[test]
+    fn interference_aware_avoids_noisy_hosts() {
+        let h = hosts(&[2, 2, 2], &[0.4, 0.05, 0.4]);
+        assert_eq!(PlacementPolicy::InterferenceAware.place(&h, 4, 2), Some(1));
+    }
+
+    #[test]
+    fn interference_aware_breaks_steal_ties_by_free_space() {
+        let h = hosts(&[2, 0], &[0.1, 0.1]);
+        assert_eq!(PlacementPolicy::InterferenceAware.place(&h, 4, 2), Some(1));
+    }
+
+    #[test]
+    fn full_fleet_rejects() {
+        let h = hosts(&[4, 3], &[0.0, 0.0]);
+        for p in [
+            PlacementPolicy::FirstFit,
+            PlacementPolicy::WorstFit,
+            PlacementPolicy::InterferenceAware,
+        ] {
+            assert_eq!(p.place(&h, 4, 2), None);
+        }
+    }
+}

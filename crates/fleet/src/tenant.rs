@@ -1,0 +1,229 @@
+//! The tenant model: who rents VMs on the fleet, and which of them are
+//! hostile.
+//!
+//! A tenant is one VM (a fixed number of vCPUs running one workload
+//! bundle). Honest tenants run the barrier/lock-structured batch presets
+//! or the CPU hog from the benchmark catalog; adversarial tenants run the
+//! scheduler attacks from [`irs_workloads::presets::adversarial`]. The
+//! churn model draws tenant kinds from an [`AdversaryMix`] and geometric
+//! lifetimes from the cell RNG, so every cell's arrival/departure trace
+//! is a pure function of the fleet seed.
+
+use irs_sim::SimRng;
+use irs_sync::WaitMode;
+use irs_workloads::presets::{adversarial, by_name, hog};
+use irs_workloads::WorkloadBundle;
+
+/// Everything a tenant can run, honest and hostile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TenantKind {
+    /// Barrier-structured batch job (streamcluster-like, run forever).
+    BarrierBatch,
+    /// Lock-heavy batch job (fluidanimate-like, run forever).
+    LockBatch,
+    /// The CPU-hog interference micro-benchmark.
+    Hog,
+    /// Attack: blocks just before slice expiry to re-arm BOOST each wake.
+    BoostGamer,
+    /// Attack: 10 ms duty cycle phase-locked to the credit-burn tick.
+    CycleStealer,
+    /// Attack: sub-tick bursts that are almost never observed at a tick.
+    TickEvader,
+}
+
+impl TenantKind {
+    /// The honest tenant kinds, in draw order.
+    pub const HONEST: [TenantKind; 3] =
+        [TenantKind::BarrierBatch, TenantKind::LockBatch, TenantKind::Hog];
+
+    /// All kinds, in composition-id order.
+    pub const ALL: [TenantKind; 6] = [
+        TenantKind::BarrierBatch,
+        TenantKind::LockBatch,
+        TenantKind::Hog,
+        TenantKind::BoostGamer,
+        TenantKind::CycleStealer,
+        TenantKind::TickEvader,
+    ];
+
+    /// Stable small id used in composition keys and seed derivation.
+    pub fn id(self) -> u8 {
+        match self {
+            TenantKind::BarrierBatch => 0,
+            TenantKind::LockBatch => 1,
+            TenantKind::Hog => 2,
+            TenantKind::BoostGamer => 3,
+            TenantKind::CycleStealer => 4,
+            TenantKind::TickEvader => 5,
+        }
+    }
+
+    /// Short label for tables and debug output.
+    pub fn label(self) -> &'static str {
+        match self {
+            TenantKind::BarrierBatch => "barrier-batch",
+            TenantKind::LockBatch => "lock-batch",
+            TenantKind::Hog => "hog",
+            TenantKind::BoostGamer => "boost-gamer",
+            TenantKind::CycleStealer => "cycle-stealer",
+            TenantKind::TickEvader => "tick-evader",
+        }
+    }
+
+    /// Whether this kind is a scheduler attack (vs an honest workload).
+    pub fn is_adversarial(self) -> bool {
+        matches!(
+            self,
+            TenantKind::BoostGamer | TenantKind::CycleStealer | TenantKind::TickEvader
+        )
+    }
+
+    /// Builds this tenant's workload bundle with `n_threads` threads.
+    ///
+    /// Honest batch kinds wrap catalog presets in `into_background()` so
+    /// every fleet tenant runs to the horizon and per-tenant throughput
+    /// (`work_rate`) is the uniform victim metric.
+    pub fn bundle(self, n_threads: usize) -> WorkloadBundle {
+        match self {
+            TenantKind::BarrierBatch => by_name("streamcluster", n_threads, WaitMode::Block)
+                .expect("catalog preset")
+                .into_background(),
+            TenantKind::LockBatch => by_name("fluidanimate", n_threads, WaitMode::Block)
+                .expect("catalog preset")
+                .into_background(),
+            TenantKind::Hog => hog::cpu_hogs(n_threads),
+            TenantKind::BoostGamer => adversarial::boost_gamer(n_threads),
+            TenantKind::CycleStealer => adversarial::cycle_stealer(n_threads),
+            TenantKind::TickEvader => adversarial::tick_evader(n_threads),
+        }
+    }
+}
+
+/// The probability mix of adversarial arrivals in a cell. Whatever
+/// probability mass is left over goes to the honest kinds in equal
+/// thirds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdversaryMix {
+    /// Mix name (table titles, seed derivation).
+    pub name: &'static str,
+    /// Probability that an arrival is a boost gamer.
+    pub boost: f64,
+    /// Probability that an arrival is a cycle stealer.
+    pub steal: f64,
+    /// Probability that an arrival is a tick evader.
+    pub evade: f64,
+}
+
+impl AdversaryMix {
+    /// No adversaries: the control cell.
+    pub const CLEAN: AdversaryMix = AdversaryMix {
+        name: "clean",
+        boost: 0.0,
+        steal: 0.0,
+        evade: 0.0,
+    };
+    /// Boost gamers at 25% of arrivals.
+    pub const BOOST: AdversaryMix = AdversaryMix {
+        name: "boost",
+        boost: 0.25,
+        steal: 0.0,
+        evade: 0.0,
+    };
+    /// Cycle stealers at 25% of arrivals.
+    pub const STEAL: AdversaryMix = AdversaryMix {
+        name: "steal",
+        boost: 0.0,
+        steal: 0.25,
+        evade: 0.0,
+    };
+    /// Tick evaders at 25% of arrivals.
+    pub const EVADE: AdversaryMix = AdversaryMix {
+        name: "evade",
+        boost: 0.0,
+        steal: 0.0,
+        evade: 0.25,
+    };
+    /// All three attacks at 10% each.
+    pub const BLEND: AdversaryMix = AdversaryMix {
+        name: "blend",
+        boost: 0.1,
+        steal: 0.1,
+        evade: 0.1,
+    };
+
+    /// Total adversarial probability mass.
+    pub fn adversarial_frac(&self) -> f64 {
+        self.boost + self.steal + self.evade
+    }
+
+    /// Draws one arrival's kind from the mix (two RNG draws: attack
+    /// class, then honest kind — always both, so the stream shape is
+    /// mix-independent).
+    pub fn draw(&self, rng: &mut SimRng) -> TenantKind {
+        let r = rng.unit_f64();
+        let honest = TenantKind::HONEST[rng.index(TenantKind::HONEST.len())];
+        if r < self.boost {
+            TenantKind::BoostGamer
+        } else if r < self.boost + self.steal {
+            TenantKind::CycleStealer
+        } else if r < self.adversarial_frac() {
+            TenantKind::TickEvader
+        } else {
+            honest
+        }
+    }
+}
+
+/// One placed tenant: its kind, the host it lives on, and the epoch at
+/// the start of which it departs.
+#[derive(Debug, Clone, Copy)]
+pub struct Tenant {
+    /// The workload kind.
+    pub kind: TenantKind,
+    /// Host index in the fleet.
+    pub host: usize,
+    /// The tenant leaves before this epoch's runs (exclusive lifetime).
+    pub departs_at: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_stable_and_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for (i, k) in TenantKind::ALL.into_iter().enumerate() {
+            assert_eq!(k.id() as usize, i);
+            assert!(seen.insert(k.id()));
+        }
+    }
+
+    #[test]
+    fn every_kind_builds_an_endless_bundle() {
+        for k in TenantKind::ALL {
+            let b = k.bundle(2);
+            assert_eq!(b.n_threads(), 2, "{}", k.label());
+        }
+    }
+
+    #[test]
+    fn clean_mix_never_draws_adversaries() {
+        let mut rng = SimRng::seed_from(9);
+        for _ in 0..200 {
+            assert!(!AdversaryMix::CLEAN.draw(&mut rng).is_adversarial());
+        }
+    }
+
+    #[test]
+    fn blend_mix_draws_all_three_attacks() {
+        let mut rng = SimRng::seed_from(9);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..500 {
+            seen.insert(AdversaryMix::BLEND.draw(&mut rng));
+        }
+        assert!(seen.contains(&TenantKind::BoostGamer));
+        assert!(seen.contains(&TenantKind::CycleStealer));
+        assert!(seen.contains(&TenantKind::TickEvader));
+    }
+}

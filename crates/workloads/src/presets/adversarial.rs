@@ -1,0 +1,92 @@
+//! Adversarial tenant programs for the fleet campaign.
+//!
+//! Each preset encodes one scheduler attack from the cloud-scheduling
+//! attack literature, expressed against the simulated credit scheduler's
+//! actual mechanisms (30 ms slice, 10 ms credit-burn tick, BOOST on wake
+//! rate-limited to one grant per 30 ms accounting period, BOOST expiry at
+//! the first tick that observes the vCPU running):
+//!
+//! * [`boost_gamer`] — computes for just under one slice, then blocks for
+//!   a token 500 µs. Every wake re-arms BOOST at the maximum rate the
+//!   rate limiter allows (once per accounting period), so the tenant runs
+//!   with wake-preemption priority for nearly its whole duty cycle while
+//!   never exhausting a slice and never being caught by slice expiry.
+//! * [`cycle_stealer`] — an 88% duty cycle phase-locked to the 10 ms
+//!   credit-burn tick: it sleeps across tick boundaries so it is rarely
+//!   *running* when a tick fires. Against tick-sampled accounting this
+//!   hides nearly all consumed time; the simulator charges credit burn
+//!   exactly (from cumulative run-time deltas), so what remains of the
+//!   attack is dodging the tick-time unboost/preempt checks.
+//! * [`tick_evader`] — sub-millisecond bursts separated by short sleeps
+//!   (65% duty). With ~10 wake-ups per tick period it is almost never
+//!   observed running at a tick, evading tick-driven BOOST expiry, and its
+//!   wake storm stresses the wake/preemption path of every strategy.
+//!
+//! All three are [`WorkloadKind::Interference`] bundles built from
+//! `forever` loops: they never finish, so fleet runs are horizon-bounded
+//! and per-tenant throughput (`VmResult::work_rate`) is the comparable
+//! victim/attacker metric.
+//!
+//! [`WorkloadKind::Interference`]: crate::bundle::WorkloadKind::Interference
+
+use crate::bundle::WorkloadBundle;
+use crate::program::ProgramBuilder;
+use irs_sync::SyncSpace;
+
+/// Compute stretch of the boost gamer: just under the 30 ms slice, so the
+/// vCPU always blocks voluntarily before slice expiry can demote it.
+pub const BOOST_GAMER_BURST_US: u64 = 27_000;
+const _: () = assert!(
+    BOOST_GAMER_BURST_US < 30_000,
+    "the attack depends on blocking before the 30 ms slice expires"
+);
+
+/// Builds the boost-gaming tenant: `n_threads` identical loops of
+/// `compute 27 ms; sleep 500 µs`, yielding just before slice expiry so
+/// each wake is eligible for a fresh BOOST grant.
+pub fn boost_gamer(n_threads: usize) -> WorkloadBundle {
+    duty_loop("boost_gamer", n_threads, BOOST_GAMER_BURST_US, 500)
+}
+
+/// Builds the cycle-stealing tenant: `n_threads` loops of `compute
+/// 8.8 ms; sleep 1.2 ms` — a 10 ms period matching the credit-burn tick,
+/// with the sleep positioned so tick instants land inside it.
+pub fn cycle_stealer(n_threads: usize) -> WorkloadBundle {
+    duty_loop("cycle_stealer", n_threads, 8_800, 1_200)
+}
+
+/// Builds the tick-evading tenant: `n_threads` loops of `compute 650 µs;
+/// sleep 350 µs` — bursts far shorter than the 10 ms tick, so almost no
+/// tick observes the vCPU running, at the cost of ~1000 wakes/sec.
+pub fn tick_evader(n_threads: usize) -> WorkloadBundle {
+    duty_loop("tick_evader", n_threads, 650, 350)
+}
+
+/// One attack loop per thread: deterministic (zero-jitter) compute burst
+/// followed by a sleep, forever. Zero jitter keeps the phase relationship
+/// with the hypervisor's periodic timers stable — the attacks rely on it.
+fn duty_loop(name: &str, n_threads: usize, burst_us: u64, sleep_us: u64) -> WorkloadBundle {
+    assert!(n_threads > 0, "{name} needs at least one thread");
+    let threads = (0..n_threads)
+        .map(|_| {
+            ProgramBuilder::new()
+                .forever(|b| b.compute_us(burst_us, 0.0).sleep_us(sleep_us))
+                .build()
+        })
+        .collect();
+    WorkloadBundle::interference(name, threads, SyncSpace::new(), 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle::WorkloadKind;
+
+    #[test]
+    fn adversaries_are_endless_interference_bundles() {
+        for b in [boost_gamer(2), cycle_stealer(2), tick_evader(2)] {
+            assert_eq!(b.kind, WorkloadKind::Interference);
+            assert_eq!(b.n_threads(), 2);
+        }
+    }
+}

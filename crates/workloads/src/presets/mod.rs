@@ -12,7 +12,9 @@
 //!   `OMP_WAIT_POLICY=active`, blocking with `passive`).
 //! * [`server`] — SPECjbb-like closed-loop and ab-like open-loop servers.
 //! * [`hog`] — the CPU-hog interference micro-benchmark.
+//! * [`adversarial`] — scheduler-attack tenants for the fleet campaign.
 
+pub mod adversarial;
 pub mod hog;
 pub mod npb;
 pub mod parsec;

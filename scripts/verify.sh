@@ -4,7 +4,9 @@
 # parallel-runner smoke test, a tickless equivalence pass (sanitizer
 # armed, fast-forward on), a checked fault-injection chaos smoke, and a
 # snapshot/fork smoke (forked branches bit-identical to from-scratch
-# runs across strategies and fault profiles).
+# runs across strategies and fault profiles), and a fleet-campaign smoke
+# (16-host datacenter with churn and adversarial tenants; asserts the
+# degradation contract per cell and ratchets its events/sec).
 # Also regenerates BENCH_runner.json (via `figures perf --check-perf`,
 # which fails the build on a combined-speedup regression below 0.85, on a
 # queue-throughput drop below the timer-wheel floor, or on any phase
@@ -41,6 +43,12 @@ echo "== figures chaos (fault-injection campaign, sanitizer armed) =="
 
 echo "== figures fork smoke (snapshot/fork bit-identity) =="
 ./target/release/figures --fork-smoke --quick --jobs 2 >/dev/null
+
+echo "== figures fleet smoke (sanitizer armed, degradation contract) =="
+./target/release/figures fleet --smoke --check --jobs 2 >/dev/null
+
+echo "== figures fleet smoke (perf record + events/sec ratchet) =="
+./target/release/figures fleet --smoke --check-perf --jobs 2 >/dev/null
 
 echo "== figures perf (regression gate; writes BENCH_runner.json) =="
 ./target/release/figures perf --quick --jobs 2 --check-perf
