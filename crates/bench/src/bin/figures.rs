@@ -14,8 +14,10 @@
 //! `ablate_pingpong`, `ablate_idle_first`, `ablate_sa_delay`,
 //! `ablate_pull`, `ablate_slice`, `ablate_pv_spin`, `chaos`,
 //! `fork_smoke` — also reachable as the `--fork-smoke` flag), `perf`
-//! (engine self-benchmark; writes BENCH_runner.json), and `fleet` (the
-//! datacenter-scale fleet campaign; `--smoke` shrinks it for CI).
+//! (engine self-benchmark; writes BENCH_runner.json), `fleet` (the
+//! datacenter-scale fleet campaign; `--smoke` shrinks it for CI), and
+//! `serving` (the open-loop latency-SLO serving campaign; `--smoke`
+//! likewise).
 //!
 //! `--jobs N` sets the worker-thread count for the run fan-out (default:
 //! all available cores). Tables are identical for every worker count.
@@ -34,10 +36,11 @@
 //! matching `BENCH_history.jsonl` record (same phase / tickless flag /
 //! worker count / host core count). Each `perf` invocation appends one
 //! line per measured phase to `BENCH_history.jsonl` for trend tracking;
-//! `fleet` appends one record per campaign (phase `fleet` or
-//! `fleet-smoke`) and `--check-perf` ratchets its events/sec the same
-//! way — except under `--check`, where the sanitizer tax makes runs
-//! incomparable and the fleet neither logs nor ratchets.
+//! `fleet` and `serving` append one record per campaign (phases `fleet`
+//! / `fleet-smoke` / `serving` / `serving-smoke`) and `--check-perf`
+//! ratchets their events/sec the same way — except under `--check`,
+//! where the sanitizer tax makes runs incomparable and the campaigns
+//! neither log nor ratchet.
 
 use irs_bench::fig5_6::Interference;
 use irs_bench::Opts;
@@ -47,7 +50,7 @@ use std::time::Instant;
 /// Every experiment name the dispatcher understands, in presentation
 /// order, tagged with whether the `core` alias includes it (`all` takes
 /// the whole list). The single source for [`usage`] and alias expansion.
-const EXPERIMENTS: [(&str, bool); 26] = [
+const EXPERIMENTS: [(&str, bool); 27] = [
     ("fig1a", true),
     ("fig1b", true),
     ("fig2", true),
@@ -74,6 +77,7 @@ const EXPERIMENTS: [(&str, bool); 26] = [
     ("chaos", false),
     ("fork_smoke", false),
     ("fleet", false),
+    ("serving", false),
 ];
 
 fn usage() -> ! {
@@ -330,6 +334,50 @@ fn main() {
             println!();
             if check_perf {
                 let failures = irs_bench::fleet::check_fleet_perf(&outcome, &history, jobs, cores);
+                if !failures.is_empty() {
+                    for f in &failures {
+                        eprintln!("perf regression: {f}");
+                    }
+                    std::process::exit(1);
+                }
+            }
+            continue;
+        }
+        if exp == "serving" {
+            let outcome = irs_bench::serving::serving(opts, smoke);
+            print!("{}", outcome.table);
+            if let Some(dir) = &csv_dir {
+                let path = format!("{dir}/serving.csv");
+                if let Err(e) = std::fs::write(&path, outcome.table.to_csv()) {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+            eprintln!(
+                "[serving done in {:.1}s: {} runs, {} requests, {} events ({:.0}/s)]",
+                outcome.wall_s,
+                outcome.runs,
+                outcome.requests,
+                outcome.events,
+                irs_bench::serving::events_per_sec(&outcome),
+            );
+            // Same record/ratchet split as `fleet`: sanitized runs are
+            // incomparable, so they neither log nor ratchet.
+            if irs_core::check::check_enabled() {
+                println!();
+                continue;
+            }
+            let jobs = irs_core::parallel::resolve_jobs(opts.jobs);
+            let cores = irs_bench::perf::host_cores();
+            let history = std::fs::read_to_string("BENCH_history.jsonl").unwrap_or_default();
+            let (commit, timestamp) = commit_and_timestamp();
+            append_history(&irs_bench::serving::history_line(
+                &outcome, &commit, timestamp, jobs, cores,
+            ));
+            println!();
+            if check_perf {
+                let failures =
+                    irs_bench::serving::check_serving_perf(&outcome, &history, jobs, cores);
                 if !failures.is_empty() {
                     for f in &failures {
                         eprintln!("perf regression: {f}");

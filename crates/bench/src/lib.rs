@@ -26,6 +26,7 @@ pub mod fleet;
 pub mod fork_smoke;
 pub mod io_latency;
 pub mod perf;
+pub mod serving;
 
 use irs_core::{runner, Scenario, Strategy};
 

@@ -1,0 +1,300 @@
+//! `figures serving` — the open-loop latency-SLO serving campaign, plus
+//! its BENCH_history.jsonl records and `--check-perf` ratchet.
+//!
+//! A two-tier request service ([`presets::server::serving_tiers`]) is
+//! driven by deterministic open-loop Poisson arrivals and measured under
+//! 0–3 CPU hogs, vanilla vs IRS. Because latency is anchored at each
+//! request's *scheduled arrival instant*, the tail percentiles include
+//! every microsecond the service fell behind its schedule (no
+//! coordinated omission) — the metric a latency SLO is actually written
+//! against. The table reports p50/p99/p999 service latency, goodput,
+//! and the in-flight requests truncated at the horizon; it is
+//! bit-identical for every `--jobs` value. `--smoke` shrinks the grid
+//! and horizon for CI and asserts the same cell contracts.
+
+use crate::perf::{json_raw_field, json_str_field, json_usize_field};
+use crate::Opts;
+use irs_core::{parallel, RunResult, Scenario, Strategy, VmScenario};
+use irs_metrics::{percentile, Series, Summary, Table};
+use irs_sim::SimTime;
+use irs_workloads::presets;
+use std::time::Instant;
+
+/// Measurement horizon of the full campaign.
+pub const HORIZON: SimTime = SimTime::from_secs(10);
+/// Measurement horizon of the `--smoke` variant.
+pub const SMOKE_HORIZON: SimTime = SimTime::from_secs(2);
+
+/// Offered load as a fraction of the slower tier's capacity.
+pub const OFFERED_LOAD: f64 = 0.6;
+
+/// Ratchet tolerance for the serving phase, matching the perf gate's.
+const RATCHET_FRAC: f64 = 0.5;
+
+/// The two strategy arms, in table-row order.
+const ARMS: [(Strategy, &str); 2] = [(Strategy::Vanilla, "van"), (Strategy::Irs, "irs")];
+
+/// Campaign outcome plus the wall-clock facts the history record needs.
+#[derive(Debug, Clone)]
+pub struct ServingOutcome {
+    /// The latency-SLO table (p50/p99/p999, goodput, truncated tail).
+    pub table: Table,
+    /// Discrete events across all runs.
+    pub events: u64,
+    /// Individual simulated runs (cells × seeds).
+    pub runs: usize,
+    /// Completed requests across all runs.
+    pub requests: u64,
+    /// Wall-clock of the whole campaign, seconds.
+    pub wall_s: f64,
+    /// Whether this was the `--smoke` variant (separate history phase).
+    pub smoke: bool,
+}
+
+/// The serving scenario: a 4-vCPU two-tier service pinned one-to-one,
+/// sharing its pCPUs with `n_inter` pinned CPU hogs.
+pub fn serving_scenario(
+    n_inter: usize,
+    strategy: Strategy,
+    seed: u64,
+    horizon: SimTime,
+) -> Scenario {
+    let s = Scenario::new(4, strategy, seed).vm(
+        VmScenario::new(presets::server::serving_tiers(2, 2, OFFERED_LOAD), 4)
+            .pin_one_to_one()
+            .measured(),
+    );
+    let s = if n_inter == 0 {
+        s
+    } else {
+        s.vm(VmScenario::new(presets::hog::cpu_hogs(n_inter), 4).pin_one_to_one())
+    };
+    s.horizon(horizon)
+}
+
+/// Runs the campaign grid — interference levels × both arms × seeds —
+/// through one ordered fan-out, and assembles the SLO table.
+///
+/// # Panics
+///
+/// Panics if any cell completes no requests: every percentile in the
+/// table is load-bearing, and a NaN cell here would mean the load
+/// generator never ran.
+pub fn serving(opts: Opts, smoke: bool) -> ServingOutcome {
+    let (horizon, inters): (SimTime, Vec<usize>) =
+        if smoke { (SMOKE_HORIZON, vec![0, 2]) } else { (HORIZON, vec![0, 1, 2, 3]) };
+
+    // Flat cell list in presentation order; `ordered_map` returns results
+    // in the same order regardless of worker count, so aggregation below
+    // is jobs-invariant.
+    let cells: Vec<(usize, usize, u64)> = inters
+        .iter()
+        .flat_map(|&n| {
+            (0..ARMS.len()).flat_map(move |arm| {
+                (0..opts.seeds).map(move |i| (n, arm, opts.base_seed + i))
+            })
+        })
+        .collect();
+    let t = Instant::now();
+    let results: Vec<RunResult> = parallel::ordered_map(opts.jobs, cells.len(), |i| {
+        let (n_inter, arm, seed) = cells[i];
+        serving_scenario(n_inter, ARMS[arm].0, seed, horizon).run()
+    });
+    let wall_s = t.elapsed().as_secs_f64();
+
+    let mut table = Table::new(format!(
+        "Serving SLO — open-loop two-tier service latency (µs) under CPU-hog \
+         interference ({:.0} s horizon, load {OFFERED_LOAD}, {} seed(s))",
+        horizon.as_secs_f64(),
+        opts.seeds,
+    ));
+    let mut series: Vec<Series> = ["p50", "p99", "p999", "goodput rps", "req-trunc"]
+        .iter()
+        .flat_map(|m| ARMS.iter().map(move |(_, a)| Series::new(format!("{a} {m}"))))
+        .collect();
+    let mut events = 0u64;
+    let mut requests = 0u64;
+    for (ci, &n_inter) in inters.iter().enumerate() {
+        let col = format!("{n_inter}-inter.");
+        for (arm, (_, arm_label)) in ARMS.iter().enumerate() {
+            // Pool latencies across seeds (percentiles of the pooled
+            // sample), average goodput, and total the truncated tail.
+            let mut lat: Vec<f64> = Vec::new();
+            let mut goodput: Vec<f64> = Vec::new();
+            let mut trunc = 0u64;
+            for i in 0..opts.seeds as usize {
+                let r = &results[(ci * ARMS.len() + arm) * opts.seeds as usize + i];
+                let m = r.measured();
+                lat.extend_from_slice(&m.latencies_us);
+                goodput.push(m.throughput_rps(r.elapsed));
+                trunc += m.requests_truncated;
+                events += r.events;
+                requests += m.requests;
+            }
+            assert!(
+                !lat.is_empty(),
+                "serving cell {col}/{arm_label} completed no requests"
+            );
+            let vals = [
+                percentile(&lat, 50.0),
+                percentile(&lat, 99.0),
+                percentile(&lat, 99.9),
+                Summary::of(&goodput).mean,
+                trunc as f64,
+            ];
+            for (mi, v) in vals.into_iter().enumerate() {
+                series[mi * ARMS.len() + arm].point(col.clone(), v);
+            }
+        }
+    }
+    for s in series {
+        table.add(s);
+    }
+    ServingOutcome {
+        table,
+        events,
+        runs: cells.len(),
+        requests,
+        wall_s,
+        smoke,
+    }
+}
+
+/// Simulation throughput of the campaign (events per wall second).
+pub fn events_per_sec(o: &ServingOutcome) -> f64 {
+    o.events as f64 / o.wall_s.max(1e-9)
+}
+
+/// History phase name; smoke and full campaigns ratchet separately
+/// (they simulate different grids).
+pub fn phase(o: &ServingOutcome) -> &'static str {
+    if o.smoke {
+        "serving-smoke"
+    } else {
+        "serving"
+    }
+}
+
+/// One BENCH_history.jsonl record for this campaign, shaped like the
+/// perf and fleet phases' records so one trend log covers all three.
+pub fn history_line(
+    o: &ServingOutcome,
+    commit: &str,
+    timestamp: u64,
+    jobs: usize,
+    cores: usize,
+) -> String {
+    format!(
+        "{{\"commit\": \"{commit}\", \"timestamp\": {timestamp}, \"phase\": \"{}\", \
+         \"tickless\": {}, \"jobs\": {jobs}, \"cores\": {cores}, \
+         \"events_per_sec\": {:.0}, \"runs\": {}, \"requests\": {}}}\n",
+        phase(o),
+        irs_core::tickless_enabled(),
+        events_per_sec(o),
+        o.runs,
+        o.requests,
+    )
+}
+
+/// The serving side of `--check-perf`: ratchets the campaign's
+/// events/sec against the best matching history record (same phase,
+/// tickless flag, worker count, and host core count).
+pub fn check_serving_perf(
+    o: &ServingOutcome,
+    history: &str,
+    jobs: usize,
+    cores: usize,
+) -> Vec<String> {
+    let tickless = irs_core::tickless_enabled();
+    let current = events_per_sec(o);
+    let best = history
+        .lines()
+        .filter(|l| {
+            json_str_field(l, "phase").as_deref() == Some(phase(o))
+                && crate::perf::json_bool_field(l, "tickless") == Some(tickless)
+                && json_usize_field(l, "jobs") == Some(jobs)
+                && json_usize_field(l, "cores") == Some(cores)
+        })
+        .filter_map(|l| {
+            json_raw_field(l, "events_per_sec")
+                .and_then(|v| v.parse::<f64>().ok())
+                .filter(|v| v.is_finite() && *v > 0.0)
+        })
+        .fold(f64::NAN, f64::max);
+    if best.is_finite() && current < RATCHET_FRAC * best {
+        vec![format!(
+            "{} phase ratchet: {current:.0} events_per_sec is below {:.0}% of the best \
+             matching record ({best:.0}; tickless={tickless}, jobs={jobs}, cores={cores})",
+            phase(o),
+            RATCHET_FRAC * 100.0,
+        )]
+    } else {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(smoke: bool) -> ServingOutcome {
+        ServingOutcome {
+            table: Table::new("t"),
+            events: 10_000,
+            runs: 4,
+            requests: 800,
+            wall_s: 2.0,
+            smoke,
+        }
+    }
+
+    #[test]
+    fn history_line_is_one_self_describing_record() {
+        let l = history_line(&outcome(true), "abc1234", 1_700_000_000, 2, 4);
+        assert!(l.ends_with("}\n"));
+        assert_eq!(json_str_field(&l, "phase").as_deref(), Some("serving-smoke"));
+        assert_eq!(json_usize_field(&l, "jobs"), Some(2));
+        assert_eq!(json_usize_field(&l, "cores"), Some(4));
+        assert_eq!(json_raw_field(&l, "events_per_sec").as_deref(), Some("5000"));
+        assert_eq!(json_raw_field(&l, "requests").as_deref(), Some("800"));
+    }
+
+    #[test]
+    fn serving_ratchet_matches_config_and_fires() {
+        let o = outcome(false);
+        let good = "{\"phase\": \"serving\", \"tickless\": false, \"jobs\": 2, \"cores\": 4, \"events_per_sec\": 6000}\n";
+        assert!(check_serving_perf(&o, good, 2, 4).is_empty());
+        let fast = "{\"phase\": \"serving\", \"tickless\": false, \"jobs\": 2, \"cores\": 4, \"events_per_sec\": 99999999}\n";
+        let failures = check_serving_perf(&o, fast, 2, 4);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("serving phase ratchet"));
+        // Other phase, jobs, or cores: ignored.
+        assert!(check_serving_perf(&o, fast, 4, 4).is_empty());
+        assert!(check_serving_perf(&o, fast, 2, 64).is_empty());
+        let smoke_rec = fast.replace("\"serving\"", "\"serving-smoke\"");
+        assert!(check_serving_perf(&o, &smoke_rec, 2, 4).is_empty());
+    }
+
+    #[test]
+    fn smoke_table_is_jobs_invariant() {
+        // The headline determinism contract: bit-identical rendering at
+        // any worker count.
+        let mk = |jobs| {
+            serving(
+                Opts {
+                    seeds: 1,
+                    base_seed: 1,
+                    jobs,
+                },
+                true,
+            )
+        };
+        let one = mk(1);
+        let two = mk(2);
+        assert_eq!(one.table.render(), two.table.render());
+        assert_eq!(one.events, two.events);
+        assert_eq!(one.requests, two.requests);
+        // The truncated-tail row is part of the table contract.
+        assert!(one.table.render().contains("req-trunc"));
+    }
+}

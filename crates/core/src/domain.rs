@@ -129,8 +129,14 @@ pub(crate) struct Domain {
     pub kind: WorkloadKind,
     pub memory_intensity: f64,
     pub open_loop: Option<OpenLoop>,
-    /// Arrival timestamps of items queued in the open-loop channel.
-    pub arrivals: VecDeque<SimTime>,
+    /// Per-channel request-timestamp ledger, parallel to the space's
+    /// channels: entry `c` mirrors channel `c`'s queue item-for-item.
+    /// `Some(t)` is an in-flight request that arrived/started at `t`
+    /// (open-loop offers, or a producer handing its open request
+    /// downstream); `None` is a plain pipeline item with no request
+    /// attached. A pop transfers a `Some` stamp to the popping task's
+    /// `req_open`, so end-to-end latency survives multi-tier hops.
+    pub req_ledger: Vec<VecDeque<Option<SimTime>>>,
     /// Per-vCPU execution context.
     pub exec: Vec<Option<ExecCtx>>,
     /// Per-vCPU guest-tick generation.

@@ -13,7 +13,7 @@ use crate::events::Event;
 use crate::system::System;
 use irs_guest::TaskId;
 use irs_sim::SimTime;
-use irs_sync::{AcquireOutcome, BarrierOutcome, PopOutcome, PushOutcome, WaitMode};
+use irs_sync::{AcquireOutcome, BarrierOutcome, EpochPoll, PopOutcome, PushOutcome, WaitMode};
 use irs_workloads::Step;
 use irs_xen::{RunState, VcpuRef};
 
@@ -200,8 +200,20 @@ impl System {
                     let outcome = self.domains[vm].space.channel(c).push(TaskId(task));
                     match outcome {
                         PushOutcome::Pushed { wake_consumer } => {
-                            if let Some(w) = wake_consumer {
-                                self.resume_waiter(vm, w.0);
+                            // The pushed item carries the producer's open
+                            // request stamp (if any) downstream, so latency
+                            // spans tiers in a pipeline service.
+                            let stamp = self.domains[vm].tasks[task].req_open.take();
+                            match wake_consumer {
+                                Some(w) => {
+                                    // Handed straight to a blocked consumer;
+                                    // the item never sits in the queue.
+                                    if stamp.is_some() {
+                                        self.domains[vm].tasks[w.0].req_open = stamp;
+                                    }
+                                    self.resume_waiter(vm, w.0);
+                                }
+                                None => self.domains[vm].req_ledger[c.0].push_back(stamp),
                             }
                         }
                         PushOutcome::MustWait => {
@@ -214,14 +226,16 @@ impl System {
                     let outcome = self.domains[vm].space.channel(c).pop(TaskId(task));
                     match outcome {
                         PopOutcome::Popped { wake_producer } => {
-                            // Open-loop accept queue: pair the arrival
-                            // timestamp for end-to-end latency.
-                            if self.domains[vm].open_loop.map(|ol| ol.channel) == Some(c) {
-                                let arrival = self.domains[vm].arrivals.pop_front();
-                                debug_assert!(arrival.is_some(), "arrival ledger underflow");
-                                self.domains[vm].tasks[task].req_open = arrival;
+                            let entry = self.domains[vm].req_ledger[c.0].pop_front();
+                            debug_assert!(entry.is_some(), "request ledger underflow");
+                            if let Some(Some(t0)) = entry {
+                                self.domains[vm].tasks[task].req_open = Some(t0);
                             }
                             if let Some(p) = wake_producer {
+                                // The producer's blocked push completes now:
+                                // its item (and stamp) enters the queue tail.
+                                let stamp = self.domains[vm].tasks[p.0].req_open.take();
+                                self.domains[vm].req_ledger[c.0].push_back(stamp);
                                 self.resume_waiter(vm, p.0);
                             }
                         }
@@ -239,11 +253,62 @@ impl System {
                     }
                 }
                 Step::Sleep { ns } => {
-                    self.domains[vm].task_activity[task] = Activity::Sleeping;
-                    self.queue
-                        .schedule(self.now + SimTime::from_nanos(ns), Event::WakeTimer { vm, task });
-                    self.block_current_of(vm, task);
+                    self.sleep_task_until(vm, task, self.now + SimTime::from_nanos(ns));
                     return;
+                }
+                Step::SleepUntil { at_ns } => {
+                    let at = SimTime::from_nanos(at_ns);
+                    if at > self.now {
+                        self.sleep_task_until(vm, task, at);
+                        return;
+                    }
+                    // Anchor already in the past: proceed immediately.
+                }
+                Step::AlignTo { period_ns, offset_ns } => {
+                    // Next boundary `k * period + offset` strictly after now.
+                    let now_ns = self.now.as_nanos();
+                    let next = if now_ns < offset_ns {
+                        offset_ns
+                    } else {
+                        ((now_ns - offset_ns) / period_ns + 1) * period_ns + offset_ns
+                    };
+                    self.sleep_task_until(vm, task, SimTime::from_nanos(next));
+                    return;
+                }
+                Step::SafepointPoll(e) => {
+                    let outcome = self.domains[vm]
+                        .space
+                        .epoch(e)
+                        .poll(TaskId(task), self.now.as_nanos());
+                    match outcome {
+                        EpochPoll::Pass => {}
+                        EpochPoll::Released { waiters, mode } => {
+                            for w in waiters {
+                                self.grant(vm, w.0, mode);
+                            }
+                        }
+                        EpochPoll::MustWait(WaitMode::Block) => {
+                            self.wait_block(vm, task);
+                            return;
+                        }
+                        EpochPoll::MustWait(WaitMode::Spin) => {
+                            self.wait_spin(vm, task);
+                            return;
+                        }
+                    }
+                }
+                Step::AwaitArrival(a) => {
+                    // Open-loop source: the next request exists at its
+                    // scheduled arrival instant regardless of when the
+                    // serving task gets here — queueing delay while the
+                    // task lags counts toward the request's latency
+                    // (no coordinated omission).
+                    let at = SimTime::from_nanos(self.domains[vm].space.arrival(a).next_arrival_ns());
+                    self.domains[vm].tasks[task].req_open = Some(at);
+                    if at > self.now {
+                        self.sleep_task_until(vm, task, at);
+                        return;
+                    }
                 }
                 Step::RequestStart => {
                     self.domains[vm].tasks[task].req_open = Some(self.now);
@@ -277,6 +342,14 @@ impl System {
     // ==================================================================
     // waits, grants, wakes
     // ==================================================================
+
+    /// Puts the current task `task` to sleep until the absolute instant
+    /// `at`, waking through the ordinary timer path.
+    fn sleep_task_until(&mut self, vm: usize, task: usize, at: SimTime) {
+        self.domains[vm].task_activity[task] = Activity::Sleeping;
+        self.queue.schedule(at, Event::WakeTimer { vm, task });
+        self.block_current_of(vm, task);
+    }
 
     /// Begins a blocking wait: spin through the futex grace window first
     /// (the fast hand-off path), then actually sleep when it expires.

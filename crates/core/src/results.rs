@@ -59,6 +59,10 @@ pub struct VmResult {
     pub requests: u64,
     /// Open-loop requests dropped at a full accept queue.
     pub dropped_requests: u64,
+    /// Requests still in flight when the run ended (arrived or started,
+    /// never completed): counted explicitly so goodput tables surface the
+    /// cut-off tail instead of silently dropping it.
+    pub requests_truncated: u64,
     /// Per-request latencies in microseconds.
     pub latencies_us: Vec<f64>,
     /// Guest scheduler counters.
@@ -139,6 +143,7 @@ mod tests {
             steal_time: SimTime::from_secs(1),
             requests: 500,
             dropped_requests: 0,
+            requests_truncated: 0,
             latencies_us: vec![100.0, 200.0, 300.0, 400.0],
             guest: GuestStats::default(),
             lhp: 0,

@@ -79,6 +79,10 @@ pub struct SystemConfig {
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
+/// Fixed salt separating the open-loop arrival streams from the workload
+/// RNG (both are forked from the scenario seed).
+const ARRIVAL_STREAM_SALT: u64 = 0x6f70_656e_5f6c_6f6f; // "open_loo"
+
 /// Process-wide tickless switch (see [`set_tickless_enabled`]).
 static TICKLESS_ENABLED: AtomicBool = AtomicBool::new(false);
 
@@ -236,6 +240,45 @@ impl System {
                 os.enable_trace(vm_index, ring_cap);
             }
             let mut bundle = vm.bundle;
+            // Gang epochs must be balanced: each epoch's participant count
+            // has to equal the number of threads polling it, or a release
+            // either never fires (too few pollers) or a generation tears
+            // (too many). Checked here — with the arrival/epoch id ranges —
+            // so the interpreter itself can never fault.
+            let mut polls = vec![0usize; bundle.space.n_epochs()];
+            for prog in &bundle.threads {
+                for e in prog.epochs_polled() {
+                    assert!(
+                        e.0 < polls.len(),
+                        "vm{vm_index} thread polls unallocated {e}"
+                    );
+                    polls[e.0] += 1;
+                }
+                for a in prog.arrivals_awaited() {
+                    assert!(
+                        a.0 < bundle.space.n_arrivals(),
+                        "vm{vm_index} thread awaits unallocated {a}"
+                    );
+                }
+            }
+            for (i, &n) in polls.iter().enumerate() {
+                let want = bundle.space.epoch_ref(irs_sync::EpochId(i)).participants();
+                assert_eq!(
+                    n, want,
+                    "vm{vm_index} gang epoch{i} unbalanced: {n} polling thread(s) \
+                     for {want} participant(s)"
+                );
+            }
+            // Arrival processes draw from their own streams, forked from
+            // the scenario seed with a fixed per-(vm, arrival) salt:
+            // decorrelated from the workload RNG and untouched by `--jobs`
+            // or tickless, so arrival schedules are bit-reproducible.
+            for i in 0..bundle.space.n_arrivals() {
+                let mut parent = SimRng::seed_from(scenario.seed ^ ARRIVAL_STREAM_SALT);
+                let child = parent.fork(((vm_index as u64) << 32) | i as u64);
+                bundle.space.arrival(irs_sync::ArrivalId(i)).reseed(child);
+            }
+            let n_channels = bundle.space.n_channels();
             // Parallel presets spawn N copies of one thread program:
             // dedupe the per-domain programs behind `Arc` so sibling tasks
             // share a single op vector instead of each cloning it.
@@ -272,7 +315,7 @@ impl System {
                 kind: bundle.kind,
                 memory_intensity: bundle.memory_intensity,
                 open_loop: bundle.open_loop,
-                arrivals: std::collections::VecDeque::new(),
+                req_ledger: vec![std::collections::VecDeque::new(); n_channels],
                 exec: vec![None; vm.n_vcpus],
                 tick_gen: vec![0; vm.n_vcpus],
                 last_tick: vec![SimTime::ZERO; vm.n_vcpus],
@@ -1113,7 +1156,8 @@ impl System {
             OfferOutcome::Accepted {
                 wake_consumer: None,
             } => {
-                self.domains[vm].arrivals.push_back(self.now);
+                let now = self.now;
+                self.domains[vm].req_ledger[ol.channel.0].push_back(Some(now));
             }
             OfferOutcome::Full => {
                 self.domains[vm].dropped_requests += 1;
@@ -1518,6 +1562,22 @@ impl System {
             .enumerate()
             .map(|(i, d)| {
                 let vm_id = irs_xen::VmId(i);
+                // Requests still open at run end — accepted (or started)
+                // but never completed: in some task's hands or still queued
+                // in a channel. Reported instead of silently dropped so a
+                // latency table cannot claim a goodput its tail never paid.
+                // A stamp past `elapsed` is a *future* open-loop arrival a
+                // task is sleeping toward, not a truncated request.
+                let truncated = d
+                    .tasks
+                    .iter()
+                    .filter(|t| t.req_open.is_some_and(|t0| t0 <= elapsed))
+                    .count()
+                    + d.req_ledger
+                        .iter()
+                        .flat_map(|l| l.iter())
+                        .filter(|e| e.is_some())
+                        .count();
                 VmResult {
                     name: d.name,
                     kind: d.kind,
@@ -1528,6 +1588,7 @@ impl System {
                     steal_time: self.hv.vm_steal_time(vm_id, elapsed),
                     requests: d.requests,
                     dropped_requests: d.dropped_requests,
+                    requests_truncated: truncated as u64,
                     latencies_us: d.latencies_us,
                     guest: d.os.stats().clone(),
                     lhp: d.lhp,

@@ -11,7 +11,7 @@
 
 use irs_sim::SimRng;
 use irs_sync::WaitMode;
-use irs_workloads::presets::{adversarial, by_name, hog};
+use irs_workloads::presets::{adversarial, by_name, hog, server};
 use irs_workloads::WorkloadBundle;
 
 /// Everything a tenant can run, honest and hostile.
@@ -29,21 +29,31 @@ pub enum TenantKind {
     CycleStealer,
     /// Attack: sub-tick bursts that are almost never observed at a tick.
     TickEvader,
+    /// Latency-SLO serving tier: open-loop arrivals through a two-tier
+    /// request pipeline (the fleet's interference *victim* par
+    /// excellence — its progress is arrival-capped solo, so any slowdown
+    /// is pure interference).
+    LatencyServer,
 }
 
 impl TenantKind {
     /// The honest tenant kinds, in draw order.
-    pub const HONEST: [TenantKind; 3] =
-        [TenantKind::BarrierBatch, TenantKind::LockBatch, TenantKind::Hog];
+    pub const HONEST: [TenantKind; 4] = [
+        TenantKind::BarrierBatch,
+        TenantKind::LockBatch,
+        TenantKind::Hog,
+        TenantKind::LatencyServer,
+    ];
 
     /// All kinds, in composition-id order.
-    pub const ALL: [TenantKind; 6] = [
+    pub const ALL: [TenantKind; 7] = [
         TenantKind::BarrierBatch,
         TenantKind::LockBatch,
         TenantKind::Hog,
         TenantKind::BoostGamer,
         TenantKind::CycleStealer,
         TenantKind::TickEvader,
+        TenantKind::LatencyServer,
     ];
 
     /// Stable small id used in composition keys and seed derivation.
@@ -55,6 +65,7 @@ impl TenantKind {
             TenantKind::BoostGamer => 3,
             TenantKind::CycleStealer => 4,
             TenantKind::TickEvader => 5,
+            TenantKind::LatencyServer => 6,
         }
     }
 
@@ -67,6 +78,7 @@ impl TenantKind {
             TenantKind::BoostGamer => "boost-gamer",
             TenantKind::CycleStealer => "cycle-stealer",
             TenantKind::TickEvader => "tick-evader",
+            TenantKind::LatencyServer => "latency-server",
         }
     }
 
@@ -95,6 +107,12 @@ impl TenantKind {
             TenantKind::BoostGamer => adversarial::boost_gamer(n_threads),
             TenantKind::CycleStealer => adversarial::cycle_stealer(n_threads),
             TenantKind::TickEvader => adversarial::tick_evader(n_threads),
+            // Split threads across the two tiers at moderate load; solo
+            // progress is bounded by the arrival schedule, so slowdown
+            // under contention measures interference alone.
+            TenantKind::LatencyServer => {
+                server::serving_tiers(n_threads.div_ceil(2), (n_threads / 2).max(1), 0.55)
+            }
         }
     }
 }

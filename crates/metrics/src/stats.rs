@@ -81,7 +81,9 @@ impl Summary {
 /// Nearest-rank percentile (`p` in `[0, 100]`). Sorts a copy; fine for the
 /// sample sizes the harness produces.
 ///
-/// Returns 0 for an empty slice.
+/// Returns NaN for an empty slice — a percentile of nothing is not a
+/// number, and 0.0 would render as a *perfect* p99 in a latency table.
+/// [`crate::Table`] renders NaN cells as `—`.
 ///
 /// # Panics
 ///
@@ -89,7 +91,7 @@ impl Summary {
 pub fn percentile(samples: &[f64], p: f64) -> f64 {
     assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
     if samples.is_empty() {
-        return 0.0;
+        return f64::NAN;
     }
     let mut sorted = samples.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
@@ -178,7 +180,7 @@ mod tests {
         assert_eq!(percentile(&v, 30.0), 20.0);
         assert_eq!(percentile(&v, 100.0), 50.0);
         assert_eq!(percentile(&v, 0.0), 15.0);
-        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert!(percentile(&[], 50.0).is_nan());
     }
 
     #[test]

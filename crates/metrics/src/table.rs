@@ -139,6 +139,10 @@ impl Table {
             out.push_str(&format!("{:name_w$}", s.name()));
             for l in &labels {
                 match s.value_at(l) {
+                    // An empty-sample statistic (NaN, e.g. a percentile of
+                    // zero requests) renders as an em dash, never as a
+                    // numeric value that could read as a perfect score.
+                    Some(v) if v.is_nan() => out.push_str(&format!(" {:>col_w$}", "—")),
                     Some(v) => out.push_str(&format!(" {:>col_w$.2}", v)),
                     None => out.push_str(&format!(" {:>col_w$}", "-")),
                 }
@@ -179,8 +183,12 @@ impl Table {
             out.push_str(&field(s.name()));
             for l in &labels {
                 out.push(',');
+                // NaN (empty-sample statistic) exports as an empty cell,
+                // same as a missing one.
                 if let Some(v) = s.value_at(l) {
-                    out.push_str(&format!("{v}"));
+                    if !v.is_nan() {
+                        out.push_str(&format!("{v}"));
+                    }
                 }
             }
             out.push('\n');
@@ -258,6 +266,19 @@ mod tests {
         assert_eq!(lines[0], "series,l1,l2");
         assert_eq!(lines[1], "\"a,b\",1.5,2");
         assert_eq!(lines[2], "c,,3");
+    }
+
+    #[test]
+    fn nan_cells_render_as_dash_and_empty_csv() {
+        let mut t = Table::new("x");
+        let mut s = Series::new("p99");
+        s.point("ok", 12.5).point("empty", f64::NAN);
+        t.add(s);
+        let text = t.render();
+        assert!(text.contains('—'), "NaN must render as an em dash:\n{text}");
+        assert!(!text.contains("NaN"));
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().nth(1).unwrap(), "p99,12.5,");
     }
 
     #[test]

@@ -17,6 +17,13 @@
 //! * [`WorkPool`] — a shared chunk pool modelling user-level work stealing
 //!   (raytrace), the paper's exhibit for interference resilience *without*
 //!   kernel help.
+//! * [`Epoch`] — a **time-anchored** gang rendezvous (wall-clock-periodic
+//!   stop-the-world safepoints, the JVM shape behind Fig 8's specjbb): polls
+//!   between deadlines pass free, a pending deadline parks every participant
+//!   until the last one arrives.
+//! * [`ArrivalProcess`] — a seeded open-loop source of absolute request
+//!   arrival instants (Poisson or uniform inter-arrivals) for latency-SLO
+//!   serving workloads.
 //!
 //! Primitives are pure state machines over [`TaskId`](irs_guest::TaskId)s: operations return
 //! outcomes (`Acquired` / `MustWait(mode)` / wake lists) that the embedding
@@ -41,17 +48,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arrival;
 mod barrier;
 mod channel;
+mod epoch;
 mod lock;
 mod pool;
 mod space;
 
+pub use arrival::{ArrivalDist, ArrivalProcess};
 pub use barrier::{Barrier, BarrierOutcome};
 pub use channel::{Channel, OfferOutcome, PopOutcome, PushOutcome};
+pub use epoch::{Epoch, EpochPoll};
 pub use lock::{AcquireOutcome, Lock, ReleaseOutcome};
 pub use pool::WorkPool;
-pub use space::{BarrierId, ChannelId, LockId, PoolId, SyncSpace};
+pub use space::{ArrivalId, BarrierId, ChannelId, EpochId, LockId, PoolId, SyncSpace};
 
 /// How a contended primitive makes its waiters wait.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -1,7 +1,9 @@
 //! The per-VM container of synchronization objects.
 
+use crate::arrival::{ArrivalDist, ArrivalProcess};
 use crate::barrier::Barrier;
 use crate::channel::Channel;
+use crate::epoch::Epoch;
 use crate::lock::Lock;
 use crate::pool::WorkPool;
 use crate::WaitMode;
@@ -41,6 +43,16 @@ sync_id!(
     PoolId,
     "pool"
 );
+sync_id!(
+    /// Handle to an [`Epoch`] in a [`SyncSpace`].
+    EpochId,
+    "epoch"
+);
+sync_id!(
+    /// Handle to an [`ArrivalProcess`] in a [`SyncSpace`].
+    ArrivalId,
+    "arrival"
+);
 
 /// All synchronization objects of one VM's workload.
 ///
@@ -51,6 +63,8 @@ pub struct SyncSpace {
     barriers: Vec<Barrier>,
     channels: Vec<Channel>,
     pools: Vec<WorkPool>,
+    epochs: Vec<Epoch>,
+    arrivals: Vec<ArrivalProcess>,
 }
 
 impl SyncSpace {
@@ -83,6 +97,19 @@ impl SyncSpace {
         PoolId(self.pools.len() - 1)
     }
 
+    /// Allocates a gang epoch (time-anchored safepoint rendezvous).
+    pub fn new_epoch(&mut self, period_ns: u64, participants: usize, mode: WaitMode) -> EpochId {
+        self.epochs.push(Epoch::new(period_ns, participants, mode));
+        EpochId(self.epochs.len() - 1)
+    }
+
+    /// Allocates an open-loop arrival process. The embedding simulation
+    /// reseeds it from the scenario seed before any task runs.
+    pub fn new_arrival(&mut self, dist: ArrivalDist) -> ArrivalId {
+        self.arrivals.push(ArrivalProcess::new(dist));
+        ArrivalId(self.arrivals.len() - 1)
+    }
+
     /// Mutable access to a lock.
     pub fn lock(&mut self, id: LockId) -> &mut Lock {
         &mut self.locks[id.0]
@@ -101,6 +128,16 @@ impl SyncSpace {
     /// Mutable access to a pool.
     pub fn pool(&mut self, id: PoolId) -> &mut WorkPool {
         &mut self.pools[id.0]
+    }
+
+    /// Mutable access to an epoch.
+    pub fn epoch(&mut self, id: EpochId) -> &mut Epoch {
+        &mut self.epochs[id.0]
+    }
+
+    /// Mutable access to an arrival process.
+    pub fn arrival(&mut self, id: ArrivalId) -> &mut ArrivalProcess {
+        &mut self.arrivals[id.0]
     }
 
     /// Shared access to a lock.
@@ -123,9 +160,34 @@ impl SyncSpace {
         &self.pools[id.0]
     }
 
+    /// Shared access to an epoch.
+    pub fn epoch_ref(&self, id: EpochId) -> &Epoch {
+        &self.epochs[id.0]
+    }
+
+    /// Shared access to an arrival process.
+    pub fn arrival_ref(&self, id: ArrivalId) -> &ArrivalProcess {
+        &self.arrivals[id.0]
+    }
+
     /// Number of locks allocated.
     pub fn n_locks(&self) -> usize {
         self.locks.len()
+    }
+
+    /// Number of channels allocated.
+    pub fn n_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Number of epochs allocated.
+    pub fn n_epochs(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// Number of arrival processes allocated.
+    pub fn n_arrivals(&self) -> usize {
+        self.arrivals.len()
     }
 }
 
@@ -166,5 +228,18 @@ mod tests {
         assert_eq!(BarrierId(2).to_string(), "barrier2");
         assert_eq!(ChannelId(3).to_string(), "chan3");
         assert_eq!(PoolId(4).to_string(), "pool4");
+        assert_eq!(EpochId(5).to_string(), "epoch5");
+        assert_eq!(ArrivalId(6).to_string(), "arrival6");
+    }
+
+    #[test]
+    fn epoch_and_arrival_allocation() {
+        let mut s = SyncSpace::new();
+        let e = s.new_epoch(1_000_000, 4, WaitMode::Block);
+        let a = s.new_arrival(crate::ArrivalDist::Poisson { mean_ns: 500 });
+        assert_eq!(s.n_epochs(), 1);
+        assert_eq!(s.n_arrivals(), 1);
+        assert_eq!(s.epoch_ref(e).participants(), 4);
+        assert!(s.arrival_ref(a).peek_ns() > 0);
     }
 }

@@ -4,7 +4,12 @@
 use crate::bundle::{OpenLoop, WorkloadBundle};
 use crate::program::ProgramBuilder;
 use irs_sim::SimTime;
-use irs_sync::{SyncSpace, WaitMode};
+use irs_sync::{ArrivalDist, SyncSpace, WaitMode};
+
+/// JVM safepoint cadence for [`specjbb`]: how often the epoch deadline
+/// gathers every warehouse thread (GC/deopt/bias-revocation pace of a
+/// busy heap).
+pub const SPECJBB_SAFEPOINT_PERIOD: SimTime = SimTime::from_millis(65);
 
 /// SPECjbb2005-like closed loop: `warehouses` threads each processing
 /// back-to-back transactions (the paper sets warehouses = vCPUs for a
@@ -14,24 +19,34 @@ use irs_sync::{SyncSpace, WaitMode};
 /// Latency of the `RequestStart`→`RequestDone` span models the "new order
 /// transaction" latency of Fig 8(b).
 ///
-/// Deliberately absent: the JVM's stop-the-world safepoints, the likely
-/// carrier of the paper's Fig 8(a) *throughput* gain. A safepoint is
-/// *time-anchored* — every thread stops at its next poll, wherever it is
-/// in its work — while this DSL's synchronization ops are all
-/// *work-anchored* (a thread reaches a `barrier` only at a fixed point in
-/// its instruction stream). A work-anchored barrier epoch forces equal
-/// transaction counts per thread and locksteps the whole VM to the most
-/// interfered vCPU, grossly overstating the gain; see EXPERIMENTS.md
-/// ("Fig 8 — servers") for the measured comparison.
+/// The JVM's stop-the-world safepoints — the carrier of the paper's
+/// Fig 8(a) *throughput* gain — are modelled by a *time-anchored* gang
+/// epoch: each thread polls at the top of every transaction, the poll is
+/// free until the wall-clock deadline (every
+/// [`SPECJBB_SAFEPOINT_PERIOD`]) comes due, and then the whole gang
+/// rendezvouses — every thread stalls until the last participant reaches
+/// its next poll. A vCPU preempted mid-transaction therefore holds *all*
+/// warehouses at the safepoint for the length of its preemption, exactly
+/// the amplification SMP interference inflicts on a real JVM. Unlike a
+/// work-anchored barrier epoch, threads do **not** run equal transaction
+/// counts between safepoints — whoever got more CPU commits more
+/// transactions, so the model does not lockstep throughput to the most
+/// interfered vCPU.
 pub fn specjbb(warehouses: usize) -> WorkloadBundle {
     assert!(warehouses > 0, "specjbb needs at least one warehouse");
     let mut space = SyncSpace::new();
     let lock = space.new_lock(WaitMode::Block);
+    let safepoint = space.new_epoch(
+        SPECJBB_SAFEPOINT_PERIOD.as_nanos(),
+        warehouses,
+        WaitMode::Block,
+    );
     let threads = (0..warehouses)
         .map(|_| {
             ProgramBuilder::new()
                 .forever(|b| {
-                    b.request_start()
+                    b.safepoint_poll(safepoint)
+                        .request_start()
                         .compute_us(3_000, 0.4)
                         .lock(lock)
                         .compute_us(20, 0.1)
@@ -42,6 +57,62 @@ pub fn specjbb(warehouses: usize) -> WorkloadBundle {
         })
         .collect();
     WorkloadBundle::server("specjbb", threads, space, 0.4, None)
+}
+
+/// Front-end work per request in [`serving_tiers`] (µs).
+const FRONT_US: u64 = 300;
+/// Back-end work per request in [`serving_tiers`] (µs).
+const BACK_US: u64 = 700;
+
+/// Multi-tier latency-SLO service: `frontends` threads each drive their
+/// own deterministic open-loop Poisson arrival source (`AwaitArrival`),
+/// do the request's front-end work, and hand it through a bounded queue
+/// to `backends` threads that finish it (`RequestDone`).
+///
+/// The latency of a request is anchored at its *scheduled arrival
+/// instant*: a frontend running behind its arrival schedule does not slow
+/// the clock down (no coordinated omission), and the stamp rides the
+/// queue item across tiers, so `RequestDone` measures true end-to-end
+/// service latency including all queueing.
+///
+/// `offered_load` sets the aggregate arrival rate as a fraction of the
+/// service capacity (the slower tier bounds it).
+pub fn serving_tiers(frontends: usize, backends: usize, offered_load: f64) -> WorkloadBundle {
+    assert!(frontends > 0 && backends > 0, "both tiers need threads");
+    assert!(
+        offered_load > 0.0 && offered_load < 1.0,
+        "offered load must be in (0, 1) for a stable open loop"
+    );
+    let front_cap = frontends as f64 * 1e6 / FRONT_US as f64;
+    let back_cap = backends as f64 * 1e6 / BACK_US as f64;
+    let rate_rps = front_cap.min(back_cap) * offered_load;
+    // Each frontend owns an independent arrival stream carrying an equal
+    // share of the load.
+    let mean_ns = (frontends as f64 * 1e9 / rate_rps).round() as u64;
+
+    let mut space = SyncSpace::new();
+    let queue = space.new_channel(256);
+    let mut threads = Vec::with_capacity(frontends + backends);
+    for _ in 0..frontends {
+        let arrival = space.new_arrival(ArrivalDist::Poisson { mean_ns });
+        threads.push(
+            ProgramBuilder::new()
+                .forever(|b| {
+                    b.await_arrival(arrival)
+                        .compute_us(FRONT_US, 0.3)
+                        .push(queue)
+                })
+                .build(),
+        );
+    }
+    for _ in 0..backends {
+        threads.push(
+            ProgramBuilder::new()
+                .forever(|b| b.pop(queue).compute_us(BACK_US, 0.3).request_done())
+                .build(),
+        );
+    }
+    WorkloadBundle::server("serving", threads, space, 0.3, None)
 }
 
 /// Apache-`ab`-like open loop: `workers` independent threads popping
@@ -101,6 +172,41 @@ mod tests {
         assert_eq!(b.kind, WorkloadKind::Server);
         assert_eq!(b.n_threads(), 4);
         assert!(b.open_loop.is_none(), "closed loop has no arrival process");
+        // The safepoint epoch exists and is balanced: one poll per thread.
+        assert_eq!(b.space.n_epochs(), 1);
+        assert_eq!(
+            b.space.epoch_ref(irs_sync::EpochId(0)).participants(),
+            4,
+            "every warehouse participates in the safepoint"
+        );
+        for t in &b.threads {
+            assert_eq!(t.epochs_polled(), vec![irs_sync::EpochId(0)]);
+        }
+    }
+
+    #[test]
+    fn serving_tiers_shape() {
+        let b = serving_tiers(2, 2, 0.6);
+        assert_eq!(b.kind, WorkloadKind::Server);
+        assert_eq!(b.n_threads(), 4);
+        assert!(b.open_loop.is_none(), "arrivals live in the DSL now");
+        assert_eq!(b.space.n_arrivals(), 2, "one stream per frontend");
+        // Backends bound capacity: 2 × (1e6/700) ≈ 2857 rps; at 0.6 load
+        // split over 2 frontends each stream carries ~857 rps → ~1167 µs.
+        let a = b.space.arrival_ref(irs_sync::ArrivalId(0));
+        match a.dist() {
+            irs_sync::ArrivalDist::Poisson { mean_ns } => {
+                let us = mean_ns / 1_000;
+                assert!((1_100..=1_250).contains(&us), "got {us} µs");
+            }
+            ref other => panic!("unexpected dist {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stable open loop")]
+    fn serving_overload_is_rejected() {
+        serving_tiers(2, 2, 1.0);
     }
 
     #[test]

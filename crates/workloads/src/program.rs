@@ -1,6 +1,6 @@
 //! The workload bytecode and its builder.
 
-use irs_sync::{BarrierId, ChannelId, LockId, PoolId};
+use irs_sync::{ArrivalId, BarrierId, ChannelId, EpochId, LockId, PoolId};
 
 /// One instruction of a thread program.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,6 +31,30 @@ pub enum Op {
         /// Sleep length in nanoseconds.
         ns: u64,
     },
+    /// Sleep until an absolute virtual-time instant; a no-op if that
+    /// instant has already passed. Rejected inside loops (a loop body
+    /// would re-anchor to the same instant and spin).
+    SleepUntil {
+        /// Absolute wake instant in nanoseconds since boot.
+        at_ns: u64,
+    },
+    /// Sleep to the next `offset_ns + k·period_ns` boundary strictly
+    /// after the current instant (periodic wall-clock alignment: tick
+    /// handlers, heartbeat emitters, metronomic phases).
+    AlignTo {
+        /// Alignment period in nanoseconds.
+        period_ns: u64,
+        /// Phase offset of the boundaries in nanoseconds.
+        offset_ns: u64,
+    },
+    /// Poll a gang-epoch safepoint: pass free unless the epoch's
+    /// wall-clock deadline has been reached, in which case park until
+    /// every participant has arrived (JVM stop-the-world shape).
+    SafepointPoll(EpochId),
+    /// Take the next request from an open-loop arrival process: starts
+    /// the request's latency clock at the *arrival* instant and sleeps
+    /// until then if the arrival is still in the future.
+    AwaitArrival(ArrivalId),
     /// Begin a counted loop (use `u64::MAX` for effectively-forever).
     LoopStart {
         /// Number of iterations of the loop body.
@@ -63,7 +87,10 @@ impl Program {
     ///
     /// # Panics
     ///
-    /// Panics on unbalanced `LoopStart`/`LoopEnd` or an out-of-range jump.
+    /// Panics on unbalanced `LoopStart`/`LoopEnd`, an out-of-range jump,
+    /// a `SleepUntil` inside a loop body (each iteration would re-anchor
+    /// to the same absolute instant, degenerating into a spin), or a
+    /// zero-period `AlignTo`.
     pub fn new(ops: Vec<Op>) -> Self {
         let mut depth = 0i64;
         for (i, op) in ops.iter().enumerate() {
@@ -75,6 +102,16 @@ impl Program {
                 }
                 Op::Jump { target } => {
                     assert!(*target <= ops.len(), "jump target {target} out of range at op {i}");
+                }
+                Op::SleepUntil { .. } => {
+                    assert!(
+                        depth == 0,
+                        "time anchor inside a loop: SleepUntil at op {i} would re-anchor \
+                         every iteration to the same absolute instant"
+                    );
+                }
+                Op::AlignTo { period_ns, .. } => {
+                    assert!(*period_ns > 0, "AlignTo with zero period at op {i}");
                 }
                 _ => {}
             }
@@ -96,6 +133,36 @@ impl Program {
     /// True for the empty program (immediately done).
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()
+    }
+
+    /// Distinct gang epochs this program polls ([`Op::SafepointPoll`]),
+    /// in first-reference order. The embedding simulation uses this to
+    /// verify every epoch's participant count matches the number of
+    /// threads actually polling it.
+    pub fn epochs_polled(&self) -> Vec<EpochId> {
+        let mut out = Vec::new();
+        for op in &self.ops {
+            if let Op::SafepointPoll(e) = op {
+                if !out.contains(e) {
+                    out.push(*e);
+                }
+            }
+        }
+        out
+    }
+
+    /// Distinct arrival processes this program awaits
+    /// ([`Op::AwaitArrival`]), in first-reference order.
+    pub fn arrivals_awaited(&self) -> Vec<ArrivalId> {
+        let mut out = Vec::new();
+        for op in &self.ops {
+            if let Op::AwaitArrival(a) = op {
+                if !out.contains(a) {
+                    out.push(*a);
+                }
+            }
+        }
+        out
     }
 
     /// Index of the `LoopEnd` matching the `LoopStart` at `start_pc`.
@@ -216,6 +283,36 @@ impl ProgramBuilder {
         self
     }
 
+    /// Appends an absolute-time anchor: sleep until `at_us` microseconds
+    /// after boot (no-op if already past).
+    pub fn sleep_until_us(mut self, at_us: u64) -> Self {
+        self.ops.push(Op::SleepUntil { at_ns: at_us * 1_000 });
+        self
+    }
+
+    /// Appends a periodic alignment: sleep to the next
+    /// `offset_us + k·period_us` boundary strictly in the future.
+    pub fn align_to_us(mut self, period_us: u64, offset_us: u64) -> Self {
+        self.ops.push(Op::AlignTo {
+            period_ns: period_us * 1_000,
+            offset_ns: offset_us * 1_000,
+        });
+        self
+    }
+
+    /// Appends a gang-epoch safepoint poll.
+    pub fn safepoint_poll(mut self, epoch: EpochId) -> Self {
+        self.ops.push(Op::SafepointPoll(epoch));
+        self
+    }
+
+    /// Appends an open-loop arrival take: block until the process's next
+    /// request instant, then start that request's latency clock there.
+    pub fn await_arrival(mut self, arrival: ArrivalId) -> Self {
+        self.ops.push(Op::AwaitArrival(arrival));
+        self
+    }
+
     /// Appends a request-start marker.
     pub fn request_start(mut self) -> Self {
         self.ops.push(Op::RequestStart);
@@ -328,5 +425,64 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn wild_jump_panics() {
         Program::new(vec![Op::Jump { target: 7 }]);
+    }
+
+    #[test]
+    fn time_anchors_build_at_top_level() {
+        let p = ProgramBuilder::new()
+            .sleep_until_us(500)
+            .align_to_us(100, 10)
+            .forever(|b| b.safepoint_poll(EpochId(0)).compute_us(10, 0.0))
+            .build();
+        assert!(matches!(p.op(0), Some(Op::SleepUntil { at_ns: 500_000 })));
+        assert!(matches!(
+            p.op(1),
+            Some(Op::AlignTo {
+                period_ns: 100_000,
+                offset_ns: 10_000
+            })
+        ));
+        assert!(matches!(p.op(3), Some(Op::SafepointPoll(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "time anchor inside a loop")]
+    fn sleep_until_inside_a_loop_panics() {
+        ProgramBuilder::new()
+            .repeat(3, |b| b.sleep_until_us(1_000))
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "time anchor inside a loop")]
+    fn repeat_forever_around_a_time_anchor_panics() {
+        ProgramBuilder::new()
+            .sleep_until_us(1_000)
+            .compute_us(5, 0.0)
+            .build()
+            .repeat_forever();
+    }
+
+    #[test]
+    #[should_panic(expected = "zero period")]
+    fn zero_period_align_panics() {
+        Program::new(vec![Op::AlignTo {
+            period_ns: 0,
+            offset_ns: 0,
+        }]);
+    }
+
+    #[test]
+    fn align_and_arrivals_are_loop_safe() {
+        // AlignTo advances each iteration and AwaitArrival consumes the
+        // stream, so both belong in loop bodies.
+        let p = ProgramBuilder::new()
+            .forever(|b| {
+                b.await_arrival(ArrivalId(0))
+                    .compute_us(100, 0.1)
+                    .align_to_us(1_000, 0)
+            })
+            .build();
+        assert_eq!(p.len(), 5);
     }
 }

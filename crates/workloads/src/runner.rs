@@ -2,7 +2,7 @@
 
 use crate::program::{Op, Program};
 use irs_sim::SimRng;
-use irs_sync::{BarrierId, ChannelId, LockId, SyncSpace};
+use irs_sync::{ArrivalId, BarrierId, ChannelId, EpochId, LockId, SyncSpace};
 use std::sync::Arc;
 
 /// An externally visible step of a running program.
@@ -34,6 +34,24 @@ pub enum Step {
         /// Sleep length.
         ns: u64,
     },
+    /// Sleep until an absolute instant (no-op if already past). The
+    /// embedder resolves it against the virtual clock — the runner is
+    /// clockless.
+    SleepUntil {
+        /// Absolute wake instant in nanoseconds since boot.
+        at_ns: u64,
+    },
+    /// Sleep to the next periodic boundary strictly after now.
+    AlignTo {
+        /// Alignment period.
+        period_ns: u64,
+        /// Boundary phase offset.
+        offset_ns: u64,
+    },
+    /// Poll this gang-epoch safepoint.
+    SafepointPoll(EpochId),
+    /// Take the next open-loop request from this arrival process.
+    AwaitArrival(ArrivalId),
     /// Request-start marker (timestamp me).
     RequestStart,
     /// Request-completion marker (account my latency).
@@ -176,6 +194,26 @@ impl ProgramRunner {
                     self.pc += 1;
                     self.steps += 1;
                     return Step::Sleep { ns };
+                }
+                Op::SleepUntil { at_ns } => {
+                    self.pc += 1;
+                    self.steps += 1;
+                    return Step::SleepUntil { at_ns };
+                }
+                Op::AlignTo { period_ns, offset_ns } => {
+                    self.pc += 1;
+                    self.steps += 1;
+                    return Step::AlignTo { period_ns, offset_ns };
+                }
+                Op::SafepointPoll(e) => {
+                    self.pc += 1;
+                    self.steps += 1;
+                    return Step::SafepointPoll(e);
+                }
+                Op::AwaitArrival(a) => {
+                    self.pc += 1;
+                    self.steps += 1;
+                    return Step::AwaitArrival(a);
                 }
                 Op::RequestStart => {
                     self.pc += 1;
@@ -340,6 +378,35 @@ mod tests {
         assert_eq!(r.next(&mut rng, &mut space), Step::RequestStart);
         assert!(matches!(r.next(&mut rng, &mut space), Step::Compute { .. }));
         assert_eq!(r.next(&mut rng, &mut space), Step::RequestDone);
+    }
+
+    #[test]
+    fn time_anchored_steps_surface() {
+        let mut space = SyncSpace::new();
+        let e = space.new_epoch(1_000_000, 1, WaitMode::Block);
+        let a = space.new_arrival(irs_sync::ArrivalDist::Poisson { mean_ns: 1_000 });
+        let p = ProgramBuilder::new()
+            .sleep_until_us(100)
+            .align_to_us(50, 5)
+            .safepoint_poll(e)
+            .await_arrival(a)
+            .build();
+        let mut r = ProgramRunner::new(p);
+        let mut rng = rng();
+        assert_eq!(
+            r.next(&mut rng, &mut space),
+            Step::SleepUntil { at_ns: 100_000 }
+        );
+        assert_eq!(
+            r.next(&mut rng, &mut space),
+            Step::AlignTo {
+                period_ns: 50_000,
+                offset_ns: 5_000
+            }
+        );
+        assert_eq!(r.next(&mut rng, &mut space), Step::SafepointPoll(e));
+        assert_eq!(r.next(&mut rng, &mut space), Step::AwaitArrival(a));
+        assert_eq!(r.next(&mut rng, &mut space), Step::Done);
     }
 
     #[test]

@@ -4,9 +4,12 @@
 # parallel-runner smoke test, a tickless equivalence pass (sanitizer
 # armed, fast-forward on), a checked fault-injection chaos smoke, and a
 # snapshot/fork smoke (forked branches bit-identical to from-scratch
-# runs across strategies and fault profiles), and a fleet-campaign smoke
+# runs across strategies and fault profiles), a fleet-campaign smoke
 # (16-host datacenter with churn and adversarial tenants; asserts the
-# degradation contract per cell and ratchets its events/sec).
+# degradation contract per cell and ratchets its events/sec), and a
+# serving-campaign smoke (open-loop latency-SLO service under
+# interference; asserts every cell completed requests, once with the
+# sanitizer armed and once recording/ratcheting its events/sec).
 # Also regenerates BENCH_runner.json (via `figures perf --check-perf`,
 # which fails the build on a combined-speedup regression below 0.85, on a
 # queue-throughput drop below the timer-wheel floor, or on any phase
@@ -49,6 +52,12 @@ echo "== figures fleet smoke (sanitizer armed, degradation contract) =="
 
 echo "== figures fleet smoke (perf record + events/sec ratchet) =="
 ./target/release/figures fleet --smoke --check-perf --jobs 2 >/dev/null
+
+echo "== figures serving smoke (sanitizer armed, cell contracts) =="
+./target/release/figures serving --smoke --check --jobs 2 >/dev/null
+
+echo "== figures serving smoke (perf record + events/sec ratchet) =="
+./target/release/figures serving --smoke --check-perf --jobs 2 >/dev/null
 
 echo "== figures perf (regression gate; writes BENCH_runner.json) =="
 ./target/release/figures perf --quick --jobs 2 --check-perf
