@@ -28,6 +28,13 @@
 //! `--tickless` arms tickless fast-forward for every run: quiescent timer
 //! ticks are elided and replayed in closed form instead of dispatched.
 //! Tables are identical with and without it — it only changes wall-clock.
+//! `--hosts N` rescales the fleet campaign to an `N`-host fleet (tenant
+//! load scales along); its history phase is `fleet-scale` and its
+//! `--check-perf` gate ratchets *effective* events/sec (logical volume
+//! per wall second) plus a deterministic ≥5× incrementality floor.
+//! `--parity` re-runs the fleet campaign with the incremental engine
+//! disabled and asserts the SLO tables are bit-identical (no history,
+//! no ratchet — it is a correctness gate).
 //! `--check-perf` turns `perf` into a regression gate: exit non-zero if
 //! the combined speedup (ticked sequential over tickless parallel) falls
 //! below its noise-band floor (0.85 — the true ratio is ~1.0 on 1-core
@@ -90,7 +97,7 @@ fn usage() -> ! {
             .join(" ")
     };
     eprintln!(
-        "usage: figures <experiment>... [--seeds N] [--base-seed S] [--jobs N] [--quick] [--check] [--tickless] [--check-perf] [--smoke] [--csv DIR]\n\
+        "usage: figures <experiment>... [--seeds N] [--base-seed S] [--jobs N] [--quick] [--check] [--tickless] [--check-perf] [--smoke] [--hosts N] [--parity] [--csv DIR]\n\
          experiments:\n\
          \u{20} {}\n\
          \u{20} {}\n\
@@ -199,6 +206,8 @@ fn main() {
     let mut csv_dir: Option<String> = None;
     let mut check_perf = false;
     let mut smoke = false;
+    let mut hosts: Option<usize> = None;
+    let mut parity = false;
     let mut experiments: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -224,6 +233,13 @@ fn main() {
             "--check-perf" => check_perf = true,
             // Shrinks the fleet campaign to its CI variant.
             "--smoke" => smoke = true,
+            // Rescales the fleet campaign (phase `fleet-scale`).
+            "--hosts" => {
+                let n = it.next().unwrap_or_else(|| usage());
+                hosts = Some(n.parse().unwrap_or_else(|_| usage()));
+            }
+            // Incremental-vs-full bit-identity gate for the fleet.
+            "--parity" => parity = true,
             // Flag alias so CI scripts read as "run the smoke" rather
             // than an experiment name; equivalent to `fork_smoke`.
             "--fork-smoke" => experiments.push("fork_smoke".to_string()),
@@ -294,7 +310,11 @@ fn main() {
             continue;
         }
         if exp == "fleet" {
-            let outcome = irs_bench::fleet::fleet(opts, smoke);
+            let outcome = if parity {
+                irs_bench::fleet::assert_incremental_parity(opts, smoke, hosts)
+            } else {
+                irs_bench::fleet::fleet(opts, smoke, hosts)
+            };
             for (i, table) in outcome.report.tables.iter().enumerate() {
                 print!("{table}");
                 if let Some(dir) = &csv_dir {
@@ -305,22 +325,43 @@ fn main() {
                     }
                 }
             }
+            print!("{}", outcome.report.accounting);
+            if let Some(dir) = &csv_dir {
+                let path = format!("{dir}/fleet_accounting.csv");
+                if let Err(e) = std::fs::write(&path, outcome.report.accounting.to_csv()) {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+            let cache = &outcome.report.cache;
             eprintln!(
-                "[fleet done in {:.1}s: {} host runs, {} events ({:.0}/s), \
-                 fork_warmup_saved={}, {} tenants placed, {} rejected]",
+                "[fleet done in {:.1}s: {} hosts, {} host runs ({} elided, {} carried), \
+                 {} events logical ({:.0}/s effective), {} executed ({:.0}/s), \
+                 fork_warmup_saved={}, cache hit rate {:.1}% ({:.1} MiB resident, \
+                 {} evictions), {} tenants placed, {} rejected{}]",
                 outcome.wall_s,
+                outcome.hosts,
                 outcome.report.host_runs,
+                outcome.report.runs_elided,
+                outcome.report.hosts_carried,
                 outcome.report.events,
+                irs_bench::fleet::effective_events_per_sec(&outcome),
+                irs_bench::fleet::events_executed(&outcome),
                 irs_bench::fleet::events_per_sec(&outcome),
                 outcome.report.fork_warmup_saved,
+                100.0 * cache.hit_rate().max(0.0),
+                cache.resident_bytes as f64 / (1 << 20) as f64,
+                cache.evictions,
                 outcome.report.tenants_placed,
                 outcome.report.tenants_rejected,
+                if parity { "; incremental parity OK" } else { "" },
             );
-            // Sanitized runs pay the invariant-checking tax, so they are
-            // not comparable to normal records: neither log them nor
-            // ratchet against them (same split as `perf` vs the --check
-            // sweeps in scripts/verify.sh).
-            if irs_core::check::check_enabled() {
+            // Sanitized runs pay the invariant-checking tax and parity
+            // runs pay a full re-simulation, so neither is comparable to
+            // normal records: neither log them nor ratchet against them
+            // (same split as `perf` vs the --check sweeps in
+            // scripts/verify.sh).
+            if irs_core::check::check_enabled() || parity {
                 println!();
                 continue;
             }

@@ -36,6 +36,19 @@ impl RunResult {
             .find(|v| v.measured)
             .expect("scenario had no measured VM")
     }
+
+    /// Coarse, deterministic estimate of this result's resident bytes —
+    /// the [`crate::runner::ForkCache`] budgeting companion of
+    /// [`crate::Snapshot::approx_bytes`]. Latency vectors dominate;
+    /// everything else is inline.
+    pub fn approx_bytes(&self) -> usize {
+        let mut b = std::mem::size_of::<Self>();
+        for vm in &self.vms {
+            b += std::mem::size_of::<VmResult>() + vm.name.len();
+            b += vm.latencies_us.capacity() * std::mem::size_of::<f64>();
+        }
+        b
+    }
 }
 
 /// Per-VM outcome of a run.

@@ -1677,6 +1677,40 @@ impl Snapshot {
         self.events_processed
     }
 
+    /// Coarse, deterministic estimate of this snapshot's resident bytes,
+    /// for cache budgeting ([`crate::runner::ForkCache`]).
+    ///
+    /// This is *not* an exact heap measurement: per-event, per-task, and
+    /// per-vCPU costs are flat constants chosen to over-approximate the
+    /// real structures (timer-wheel slab slots, guest CFS state, exec
+    /// contexts, runstate trackers). What matters for eviction is that the
+    /// estimate is deterministic and scales monotonically with state size.
+    pub fn approx_bytes(&self) -> usize {
+        /// Timer-wheel fixed geometry (slot vectors + occupancy bitmaps).
+        const QUEUE_FIXED: usize = 32 << 10;
+        /// Slab entry + head-batch + slot bookkeeping per pending event.
+        const PER_EVENT: usize = 96;
+        /// TaskRt plus its parallel activity/generation array slots.
+        const PER_TASK: usize = 192;
+        /// Exec context, cached views, steal tracker, tick stamps.
+        const PER_VCPU: usize = 768;
+        let mut b = std::mem::size_of::<Self>() + QUEUE_FIXED;
+        b += (self.queue.len() + self.queue.tombstones()) * PER_EVENT;
+        b += self.hv.approx_heap_bytes();
+        for d in &self.domains {
+            b += std::mem::size_of_val(d) + d.name.len();
+            b += d.tasks.len() * PER_TASK;
+            b += d.exec.len() * PER_VCPU;
+            b += d.latencies_us.capacity() * std::mem::size_of::<f64>();
+            b += d
+                .req_ledger
+                .iter()
+                .map(|q| q.capacity() * std::mem::size_of::<Option<irs_sim::SimTime>>())
+                .sum::<usize>();
+        }
+        b
+    }
+
     /// `resume`, optionally with a deep trace ring + checking forced on
     /// (the sanitizer-replay path). The traced rebuild disables rolling
     /// checkpoints so a replayed violation panics directly instead of

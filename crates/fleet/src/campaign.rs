@@ -26,20 +26,51 @@
 //! equal-composition hosts are exchangeable by construction, since
 //! placement never feeds back into a host's *internal* schedule.
 //!
+//! # Incremental epochs
+//!
+//! Because a host's scenario seed depends only on its composition (not
+//! the epoch, policy, mix, or overcommit), re-running an unchanged host
+//! next epoch reproduces the same result bit for bit. The campaign's
+//! *incremental* mode (`FleetConfig::incremental`, on by default)
+//! exploits this at two layers:
+//!
+//! * **Dirty-host carry-over** — each host tracks whether churn
+//!   (arrival or departure; telemetry feeds only placement) touched it
+//!   this epoch. Clean hosts carry their previous epoch's
+//!   `Arc<RunResult>` per arm and skip simulation entirely, immune to
+//!   cache eviction.
+//! * **Composition-keyed cache** — groups not resolved by carry go
+//!   through [`irs_core::runner::run_forked_grid_cached`], whose
+//!   [`ForkCache`] memoizes warmup snapshots and completed results by
+//!   composition seed *across epochs, arms, and cells* under a byte
+//!   budget (`FleetConfig::cache_bytes`).
+//!
+//! Reuse is observationally invisible — the SLO tables are bit-identical
+//! to a full re-simulation — because branches of one snapshot are
+//! bit-identical to from-scratch runs (the snapshot determinism
+//! contract) and samples are absorbed in the same order either way. The
+//! elision counters (`runs_elided`, `events_elided`, `hosts_carried`)
+//! together with `fork_warmup_saved` decompose the logical event volume:
+//! `executed = events − fork_warmup_saved − events_elided` always holds.
+//!
 //! # Determinism
 //!
 //! Churn, placement, and lifetimes are drawn sequentially from one
 //! `SimRng` forked per cell; host runs fan out only through
-//! [`irs_core::parallel::ordered_map`]. Tables are therefore bit-identical
-//! for every `--jobs` value.
+//! [`irs_core::parallel::ordered_map`]. Cache bookkeeping and carry
+//! resolution happen sequentially on the driver thread. Tables and every
+//! counter are therefore bit-identical for every `--jobs` value.
 
-use crate::placement::{HostState, PlacementPolicy};
+use crate::placement::{PlacementIndex, PlacementPolicy};
 use crate::tenant::{AdversaryMix, Tenant, TenantKind};
-use irs_core::runner::run_forked_grid;
-use irs_core::{parallel, Scenario, Strategy, SystemConfig, VmScenario, DEGRADATION_MARGIN};
+use irs_core::runner::{run_forked_grid, run_forked_grid_cached, ForkCache, ForkCacheStats};
+use irs_core::{
+    parallel, RunResult, Scenario, Strategy, SystemConfig, VmScenario, DEGRADATION_MARGIN,
+};
 use irs_metrics::{percentile, Series, Summary, Table};
 use irs_sim::{SimRng, SimTime};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// The two strategy arms every cell compares.
 pub const FLEET_STRATEGIES: [Strategy; 2] = [Strategy::Vanilla, Strategy::Irs];
@@ -78,6 +109,15 @@ pub struct FleetConfig {
     pub jobs: usize,
     /// Share warmups across equal-composition hosts via snapshot/fork.
     pub share_warmup: bool,
+    /// Reuse results across epochs, arms, and cells: clean (churn-free)
+    /// hosts carry their previous result forward, and a
+    /// composition-keyed snapshot/result cache serves the rest. Tables
+    /// are bit-identical either way; `false` re-simulates everything
+    /// (the reference mode the parity tests compare against).
+    pub incremental: bool,
+    /// Estimated-byte budget for the incremental snapshot/result cache
+    /// (ignored when `incremental` is off).
+    pub cache_bytes: usize,
 }
 
 impl Default for FleetConfig {
@@ -96,6 +136,8 @@ impl Default for FleetConfig {
             seed: 1,
             jobs: 0,
             share_warmup: true,
+            incremental: true,
+            cache_bytes: 256 << 20,
         }
     }
 }
@@ -132,15 +174,31 @@ pub struct FleetReport {
     pub tables: Vec<Table>,
     /// Events the snapshot/fork warmup sharing avoided re-executing.
     pub fork_warmup_saved: u64,
+    /// Post-warmup events not re-executed thanks to carry-over and result
+    /// memoization. `events − fork_warmup_saved − events_elided` is what
+    /// the campaign actually simulated.
+    pub events_elided: u64,
     /// Logical fleet event volume (sum over all host runs; shared
     /// warmup prefixes counted once per host they served).
     pub events: u64,
-    /// Host runs completed (branches, both arms, all cells).
+    /// Host runs in the logical grid (hosts × epochs × arms × cells,
+    /// occupied hosts only) — identical in incremental and full modes.
     pub host_runs: usize,
+    /// Logical host runs served without a fresh simulation (carried or
+    /// memoized); 0 in full mode.
+    pub runs_elided: u64,
+    /// Host runs served specifically by the dirty-host carry-over layer
+    /// (a subset of `runs_elided`).
+    pub hosts_carried: u64,
     /// Tenants successfully placed across all cells.
     pub tenants_placed: u64,
     /// Tenant arrivals rejected because no host had capacity.
     pub tenants_rejected: u64,
+    /// Final snapshot/result cache counters (all zero in full mode).
+    pub cache: ForkCacheStats,
+    /// Logical-vs-executed accounting per mix column (not part of
+    /// `tables` so incremental/full SLO parity can be compared directly).
+    pub accounting: Table,
 }
 
 /// Per-arm sample accumulators for one cell.
@@ -161,11 +219,14 @@ struct ArmSamples {
     runs: usize,
 }
 
-/// One cell's outcome: both arms plus churn accounting.
+/// One cell's outcome: both arms plus churn and elision accounting.
 #[derive(Debug, Clone)]
 struct CellOutcome {
     arms: [ArmSamples; 2],
     fork_warmup_saved: u64,
+    events_elided: u64,
+    runs_elided: u64,
+    hosts_carried: u64,
     placed: u64,
     rejected: u64,
 }
@@ -235,6 +296,45 @@ fn slowdown(solo_rate: f64, contended_rate: f64) -> f64 {
     }
 }
 
+/// Folds one host run into the arm's samples and the host's steal
+/// telemetry. Shared by the incremental and full paths so both absorb
+/// members in exactly the same order with exactly the same float
+/// accumulation — the root of incremental/full bit-identity.
+fn absorb_host_run(
+    samples: &mut ArmSamples,
+    comp: &[u8],
+    has_adversary: bool,
+    solo: &BTreeMap<(u8, usize), f64>,
+    arm: usize,
+    r: &RunResult,
+    steal_frac: &mut f64,
+) {
+    samples.sa_timeouts += r.hv.sa_timeouts;
+    samples.events += r.events;
+    samples.runs += 1;
+    let mut cpu = 0.0;
+    let mut steal = 0.0;
+    for (vm, &kid) in r.vms.iter().zip(comp) {
+        let kind = TenantKind::ALL[kid as usize];
+        samples.requests_truncated += vm.requests_truncated;
+        let sd = slowdown(solo[&(kid, arm)], vm.work_rate(r.elapsed));
+        if kind.is_adversarial() {
+            samples.attacker.push(sd);
+        } else {
+            samples.honest.push(sd);
+            if has_adversary {
+                samples.victim.push(sd);
+            }
+        }
+        cpu += vm.cpu_time.as_secs_f64();
+        steal += vm.steal_time.as_secs_f64();
+    }
+    if cpu + steal > 0.0 {
+        // Half-weight per arm: the EWMA input is the mean over both arms.
+        *steal_frac += 0.5 * steal / (cpu + steal);
+    }
+}
+
 /// Runs one cell: `epochs` rounds of churn, each epoch simulated under
 /// both strategy arms with the *same* placement trace.
 fn run_cell(
@@ -242,6 +342,7 @@ fn run_cell(
     policy: PlacementPolicy,
     mix: &AdversaryMix,
     solo: &BTreeMap<(u8, usize), f64>,
+    cache: &mut ForkCache,
 ) -> CellOutcome {
     let capacity = cfg.capacity_vcpus();
     assert!(
@@ -259,11 +360,21 @@ fn run_cell(
     .concat());
     let mut rng = SimRng::seed_from(cfg.seed).fork(cell_salt);
 
-    let mut hosts: Vec<HostState> = vec![HostState::default(); cfg.hosts];
+    let mut index = PlacementIndex::new(cfg.hosts, capacity);
+    // Churn dirtiness and per-arm carried results. A host whose tenant
+    // set did not change re-runs the exact same scenario next epoch
+    // (seeds depend only on composition), so its previous result stands
+    // in verbatim; any arrival or departure clears the carry. Telemetry
+    // updates feed only placement and never dirty a host.
+    let mut dirty = vec![false; cfg.hosts];
+    let mut carry: Vec<[Option<Arc<RunResult>>; 2]> = vec![[None, None]; cfg.hosts];
     let mut active: Vec<Tenant> = Vec::new();
     let mut out = CellOutcome {
         arms: [ArmSamples::default(), ArmSamples::default()],
         fork_warmup_saved: 0,
+        events_elided: 0,
+        runs_elided: 0,
+        hosts_carried: 0,
         placed: 0,
         rejected: 0,
     };
@@ -273,7 +384,9 @@ fn run_cell(
         active.retain(|t| {
             let stays = t.departs_at > epoch;
             if !stays {
-                hosts[t.host].used_vcpus -= cfg.tenant_vcpus;
+                index.remove_tenant(t.host, cfg.tenant_vcpus);
+                dirty[t.host] = true;
+                carry[t.host] = [None, None];
             }
             stays
         });
@@ -289,9 +402,11 @@ fn run_cell(
             while life < 32 && !rng.chance(cfg.depart_chance) {
                 life += 1;
             }
-            match policy.place(&hosts, capacity, cfg.tenant_vcpus) {
+            match index.place(policy, cfg.tenant_vcpus) {
                 Some(host) => {
-                    hosts[host].used_vcpus += cfg.tenant_vcpus;
+                    index.add_tenant(host, cfg.tenant_vcpus);
+                    dirty[host] = true;
+                    carry[host] = [None, None];
                     active.push(Tenant {
                         kind,
                         host,
@@ -328,70 +443,118 @@ fn run_cell(
         // placement EWMA.
         let mut steal_frac = vec![0.0f64; cfg.hosts];
 
-        for arm in 0..FLEET_STRATEGIES.len() {
-            let make = |g: usize| scenario_for(comps[g], arm, cfg);
-            let (grouped, saved) = if cfg.share_warmup {
-                run_forked_grid(cfg.jobs, cfg.warmup, &SystemConfig::default(), &sizes, make)
-            } else {
-                // Same fan-out shape, every host from scratch. Branches
-                // are bit-identical to the forked path by the snapshot
-                // determinism contract.
-                let owner: Vec<usize> = sizes
-                    .iter()
-                    .enumerate()
-                    .flat_map(|(g, &n)| std::iter::repeat_n(g, n))
-                    .collect();
-                let flat =
-                    parallel::ordered_map(cfg.jobs, owner.len(), |i| make(owner[i]).run());
-                let mut grouped: Vec<Vec<_>> = sizes.iter().map(|_| Vec::new()).collect();
-                for (i, r) in flat.into_iter().enumerate() {
-                    grouped[owner[i]].push(r);
-                }
-                (grouped, 0)
-            };
-            out.fork_warmup_saved += saved;
-
-            let samples = &mut out.arms[arm];
-            for (g, branch_results) in grouped.iter().enumerate() {
-                let comp = comps[g];
-                let has_adversary = comp
-                    .iter()
-                    .any(|&kid| TenantKind::ALL[kid as usize].is_adversarial());
-                for (&host, r) in members[g].iter().zip(branch_results) {
-                    samples.sa_timeouts += r.hv.sa_timeouts;
-                    samples.events += r.events;
-                    samples.runs += 1;
-                    let mut cpu = 0.0;
-                    let mut steal = 0.0;
-                    for (vm, &kid) in r.vms.iter().zip(comp) {
-                        let kind = TenantKind::ALL[kid as usize];
-                        samples.requests_truncated += vm.requests_truncated;
-                        let sd = slowdown(solo[&(kid, arm)], vm.work_rate(r.elapsed));
-                        if kind.is_adversarial() {
-                            samples.attacker.push(sd);
-                        } else {
-                            samples.honest.push(sd);
-                            if has_adversary {
-                                samples.victim.push(sd);
-                            }
-                        }
-                        cpu += vm.cpu_time.as_secs_f64();
-                        steal += vm.steal_time.as_secs_f64();
+        for (arm, _strategy) in FLEET_STRATEGIES.iter().enumerate() {
+            if cfg.incremental {
+                // Resolve each group: clean-host carry first (free and
+                // eviction-immune), then the composition-keyed cache,
+                // then a fresh warmup + completion for the rest.
+                let mut shared: Vec<Option<Arc<RunResult>>> = vec![None; comps.len()];
+                for (g, slot) in shared.iter_mut().enumerate() {
+                    let carried = members[g]
+                        .iter()
+                        .filter(|&&h| !dirty[h])
+                        .find_map(|&h| carry[h][arm].clone());
+                    if let Some(r) = carried {
+                        let n = sizes[g] as u64;
+                        out.hosts_carried += n;
+                        out.runs_elided += n;
+                        out.events_elided += n * r.events;
+                        *slot = Some(r);
                     }
-                    if cpu + steal > 0.0 {
-                        // Half-weight per arm: the EWMA input is the mean
-                        // over both arms.
-                        steal_frac[host] += 0.5 * steal / (cpu + steal);
+                }
+                let pending: Vec<usize> =
+                    (0..comps.len()).filter(|&g| shared[g].is_none()).collect();
+                let keyed: Vec<(u64, usize)> = pending
+                    .iter()
+                    .map(|&g| (comp_seed(cfg.seed, arm, comps[g]), sizes[g]))
+                    .collect();
+                let grid = run_forked_grid_cached(
+                    cfg.jobs,
+                    cfg.share_warmup.then_some(cfg.warmup),
+                    &SystemConfig::default(),
+                    &keyed,
+                    |i| scenario_for(comps[pending[i]], arm, cfg),
+                    cache,
+                );
+                out.fork_warmup_saved += grid.fork_warmup_saved;
+                out.events_elided += grid.events_elided;
+                out.runs_elided += grid.runs_elided;
+                for (i, r) in grid.results.into_iter().enumerate() {
+                    shared[pending[i]] = Some(r);
+                }
+
+                let samples = &mut out.arms[arm];
+                for (g, slot) in shared.iter().enumerate() {
+                    let comp = comps[g];
+                    let has_adversary = comp
+                        .iter()
+                        .any(|&kid| TenantKind::ALL[kid as usize].is_adversarial());
+                    let r = slot.as_ref().expect("every group resolved");
+                    for &host in members[g] {
+                        absorb_host_run(
+                            samples,
+                            comp,
+                            has_adversary,
+                            solo,
+                            arm,
+                            r,
+                            &mut steal_frac[host],
+                        );
+                        carry[host][arm] = Some(r.clone());
+                    }
+                }
+            } else {
+                let make = |g: usize| scenario_for(comps[g], arm, cfg);
+                let (grouped, saved) = if cfg.share_warmup {
+                    run_forked_grid(cfg.jobs, cfg.warmup, &SystemConfig::default(), &sizes, make)
+                } else {
+                    // Same fan-out shape, every host from scratch.
+                    // Branches are bit-identical to the forked path by
+                    // the snapshot determinism contract.
+                    let owner: Vec<usize> = sizes
+                        .iter()
+                        .enumerate()
+                        .flat_map(|(g, &n)| std::iter::repeat_n(g, n))
+                        .collect();
+                    let flat =
+                        parallel::ordered_map(cfg.jobs, owner.len(), |i| make(owner[i]).run());
+                    let mut grouped: Vec<Vec<_>> = sizes.iter().map(|_| Vec::new()).collect();
+                    for (i, r) in flat.into_iter().enumerate() {
+                        grouped[owner[i]].push(r);
+                    }
+                    (grouped, 0)
+                };
+                out.fork_warmup_saved += saved;
+
+                let samples = &mut out.arms[arm];
+                for (g, branch_results) in grouped.iter().enumerate() {
+                    let comp = comps[g];
+                    let has_adversary = comp
+                        .iter()
+                        .any(|&kid| TenantKind::ALL[kid as usize].is_adversarial());
+                    for (&host, r) in members[g].iter().zip(branch_results) {
+                        absorb_host_run(
+                            samples,
+                            comp,
+                            has_adversary,
+                            solo,
+                            arm,
+                            r,
+                            &mut steal_frac[host],
+                        );
                     }
                 }
             }
         }
 
-        for (h, host) in hosts.iter_mut().enumerate() {
+        for (h, &frac) in steal_frac.iter().enumerate() {
             // Empty hosts decay toward zero; occupied hosts blend in the
             // fresh observation.
-            host.steal_ewma = 0.5 * host.steal_ewma + 0.5 * steal_frac[h];
+            index.set_steal(h, 0.5 * index.steal(h) + 0.5 * frac);
         }
+        // Next epoch's churn defines dirtiness afresh: every host that
+        // ran this epoch now has a current carry for both arms.
+        dirty.fill(false);
     }
     out
 }
@@ -488,32 +651,67 @@ pub fn run_campaign(spec: &CampaignSpec) -> FleetReport {
     assert!(!spec.policies.is_empty() && !spec.mixes.is_empty());
     let cfg = &spec.fleet;
     let solo = solo_rates(cfg);
+    // One cache for the whole campaign: compositions repeat across
+    // epochs, arms, *and* cells (the scenario seed ignores policy, mix,
+    // and overcommit), so cross-cell reuse is sound and frequent.
+    let mut cache = ForkCache::new(cfg.cache_bytes);
     let mut report = FleetReport {
         tables: Vec::new(),
         fork_warmup_saved: 0,
+        events_elided: 0,
         events: 0,
         host_runs: 0,
+        runs_elided: 0,
+        hosts_carried: 0,
         tenants_placed: 0,
         tenants_rejected: 0,
+        cache: ForkCacheStats::default(),
+        accounting: Table::new(
+            "Fleet incremental accounting — logical vs executed simulation volume",
+        ),
     };
-    let absorb = |report: &mut FleetReport, cell: &CellOutcome| {
+    /// Logical-vs-executed totals for one accounting column.
+    #[derive(Default)]
+    struct ColTotals {
+        runs: u64,
+        runs_elided: u64,
+        carried: u64,
+        events: u64,
+        warmup_saved: u64,
+        events_elided: u64,
+    }
+    let mut acct_cols: Vec<(String, ColTotals)> = Vec::new();
+    let absorb = |report: &mut FleetReport, col: &mut ColTotals, cell: &CellOutcome| {
+        let events = cell.arms.iter().map(|a| a.events).sum::<u64>();
+        let runs = cell.arms.iter().map(|a| a.runs).sum::<usize>();
         report.fork_warmup_saved += cell.fork_warmup_saved;
-        report.events += cell.arms.iter().map(|a| a.events).sum::<u64>();
-        report.host_runs += cell.arms.iter().map(|a| a.runs).sum::<usize>();
+        report.events_elided += cell.events_elided;
+        report.events += events;
+        report.host_runs += runs;
+        report.runs_elided += cell.runs_elided;
+        report.hosts_carried += cell.hosts_carried;
         report.tenants_placed += cell.placed;
         report.tenants_rejected += cell.rejected;
+        col.runs += runs as u64;
+        col.runs_elided += cell.runs_elided;
+        col.carried += cell.hosts_carried;
+        col.events += events;
+        col.warmup_saved += cell.fork_warmup_saved;
+        col.events_elided += cell.events_elided;
     };
 
     for mix in &spec.mixes {
         let mut series: BTreeMap<&'static str, Series> = BTreeMap::new();
+        let mut col = ColTotals::default();
         for policy in &spec.policies {
-            let cell = run_cell(cfg, *policy, mix, &solo);
+            let cell = run_cell(cfg, *policy, mix, &solo, &mut cache);
             if spec.assert_contract {
                 assert_cell_contract(&format!("{}/{}", policy.label(), mix.name), &cell.arms);
             }
             add_cell_points(&mut series, policy.label(), &cell);
-            absorb(&mut report, &cell);
+            absorb(&mut report, &mut col, &cell);
         }
+        acct_cols.push((mix.name.to_string(), col));
         let mut table = Table::new(format!(
             "Fleet SLO — honest-tenant slowdown vs solo ({} mix, {} hosts, oc {:.2}, {} epochs)",
             mix.name, cfg.hosts, cfg.overcommit, cfg.epochs
@@ -536,18 +734,22 @@ pub fn run_campaign(spec: &CampaignSpec) -> FleetReport {
             cfg.hosts
         ));
         let mut series: BTreeMap<&'static str, Series> = BTreeMap::new();
+        let mut col = ColTotals::default();
         for &oc in &spec.overcommit_sweep {
             let cell_cfg = FleetConfig {
                 overcommit: oc,
                 ..cfg.clone()
             };
-            let cell = run_cell(&cell_cfg, policy, &mix, &solo);
+            // The scenario seed ignores overcommit (it only moves
+            // placement capacity), so the sweep shares the same cache.
+            let cell = run_cell(&cell_cfg, policy, &mix, &solo, &mut cache);
             if spec.assert_contract {
                 assert_cell_contract(&format!("{}/{}/oc{oc:.2}", policy.label(), mix.name), &cell.arms);
             }
             add_cell_points(&mut series, &format!("oc {oc:.2}"), &cell);
-            absorb(&mut report, &cell);
+            absorb(&mut report, &mut col, &cell);
         }
+        acct_cols.push(("oc sweep".to_string(), col));
         for name in SERIES_ORDER {
             if let Some(s) = series.remove(name) {
                 table.add(s);
@@ -555,6 +757,28 @@ pub fn run_campaign(spec: &CampaignSpec) -> FleetReport {
         }
         report.tables.push(table);
     }
+
+    type AcctRow = (&'static str, fn(&ColTotals) -> f64);
+    const ACCT_ROWS: [AcctRow; 8] = [
+        ("host runs", |c| c.runs as f64),
+        ("runs executed", |c| (c.runs - c.runs_elided) as f64),
+        ("runs elided", |c| c.runs_elided as f64),
+        ("hosts carried", |c| c.carried as f64),
+        ("events (logical)", |c| c.events as f64),
+        ("events executed", |c| {
+            (c.events - c.warmup_saved - c.events_elided) as f64
+        }),
+        ("warmup saved", |c| c.warmup_saved as f64),
+        ("events elided", |c| c.events_elided as f64),
+    ];
+    for (name, project) in ACCT_ROWS {
+        let mut s = Series::new(name);
+        for (col, totals) in &acct_cols {
+            s.point(col.clone(), project(totals));
+        }
+        report.accounting.add(s);
+    }
+    report.cache = cache.stats();
 
     report
 }

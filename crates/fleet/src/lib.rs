@@ -33,5 +33,5 @@ mod tenant;
 pub use campaign::{
     run_campaign, CampaignSpec, FleetConfig, FleetReport, FLEET_STRATEGIES, SLOWDOWN_CAP,
 };
-pub use placement::{HostState, PlacementPolicy};
+pub use placement::{HostState, PlacementIndex, PlacementPolicy};
 pub use tenant::{AdversaryMix, Tenant, TenantKind};

@@ -26,6 +26,10 @@ fn spec(jobs: usize, share_warmup: bool) -> CampaignSpec {
             seed: 7,
             jobs,
             share_warmup,
+            // This suite pins the *full* (reference) execution paths;
+            // tests/incremental.rs pins incremental-vs-full parity.
+            incremental: false,
+            cache_bytes: 64 << 20,
         },
         policies: vec![PlacementPolicy::FirstFit, PlacementPolicy::InterferenceAware],
         mixes: vec![AdversaryMix::BLEND],

@@ -102,6 +102,21 @@ impl Hypervisor {
         &self.trace
     }
 
+    /// Coarse, deterministic estimate of this hypervisor's heap bytes
+    /// (arena vectors plus per-pCPU runqueue slack) — a building block of
+    /// snapshot-cache budgeting in `irs-core`. Trace-ring contents are
+    /// excluded: snapshots clone rings configuration-only.
+    pub fn approx_heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        /// Runqueue backing store and stats slack per pCPU.
+        const PER_PCPU_SLACK: usize = 256;
+        self.pcpus.capacity() * (size_of::<Pcpu>() + PER_PCPU_SLACK)
+            + self.vms.capacity() * size_of::<Vm>()
+            + self.vcpus.capacity() * size_of::<Vcpu>()
+            + self.vm_base.capacity() * size_of::<u32>()
+            + self.runstate_epoch.capacity() * size_of::<u64>()
+    }
+
     /// Takes an empty action buffer from the recycle pool (or allocates the
     /// first few times). Pair with [`Hypervisor::recycle_actions`].
     pub(crate) fn out_buf(&mut self) -> Vec<HvAction> {

@@ -6,7 +6,12 @@
 # snapshot/fork smoke (forked branches bit-identical to from-scratch
 # runs across strategies and fault profiles), a fleet-campaign smoke
 # (16-host datacenter with churn and adversarial tenants; asserts the
-# degradation contract per cell and ratchets its events/sec), and a
+# degradation contract per cell and ratchets its events/sec), a
+# fleet incremental-parity gate (--parity re-runs the smoke campaign
+# with the dirty-host carry-over and snapshot/result cache disabled and
+# asserts bit-identical SLO tables), a 1000-host fleet-scale pass
+# (ratchets *effective* events/sec — logical volume per wall second —
+# and enforces the deterministic >=5x incrementality floor), and a
 # serving-campaign smoke (open-loop latency-SLO service under
 # interference; asserts every cell completed requests, once with the
 # sanitizer armed and once recording/ratcheting its events/sec).
@@ -52,6 +57,12 @@ echo "== figures fleet smoke (sanitizer armed, degradation contract) =="
 
 echo "== figures fleet smoke (perf record + events/sec ratchet) =="
 ./target/release/figures fleet --smoke --check-perf --jobs 2 >/dev/null
+
+echo "== figures fleet smoke (incremental parity: elided == full) =="
+./target/release/figures fleet --smoke --parity --jobs 2 >/dev/null
+
+echo "== figures fleet scale (1000 hosts; effective events/sec ratchet) =="
+./target/release/figures fleet --hosts 1000 --check-perf --jobs 2 >/dev/null
 
 echo "== figures serving smoke (sanitizer armed, cell contracts) =="
 ./target/release/figures serving --smoke --check --jobs 2 >/dev/null
